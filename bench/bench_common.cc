@@ -1,0 +1,201 @@
+#include "bench_common.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/silofuse.h"
+#include "data/csv.h"
+#include "distributed/e2e_distributed.h"
+#include "models/e2e.h"
+#include "models/gan.h"
+#include "models/latent_diffusion.h"
+#include "models/tabddpm.h"
+
+namespace silofuse {
+namespace bench {
+namespace {
+
+constexpr char kCacheDir[] = "silofuse_bench_cache";
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  double parsed;
+  if (!ParseDouble(value, &parsed)) return fallback;
+  return parsed;
+}
+
+uint64_t TrialSeed(const std::string& dataset, int trial) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : dataset) h = (h ^ static_cast<uint64_t>(c)) * 1099511628211ULL;
+  return h + 7919ULL * static_cast<uint64_t>(trial + 1);
+}
+
+std::string CachePath(const std::string& model, const std::string& dataset,
+                      int trial, double scale) {
+  std::string tag = model;
+  for (char& c : tag) {
+    if (c == '(' || c == ')' || c == ' ') c = '_';
+  }
+  return std::string(kCacheDir) + "/synth_" + tag + "_" + dataset + "_t" +
+         std::to_string(trial) + "_s" + FormatDouble(scale, 2) + ".csv";
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void EnsureCacheDir() { ::mkdir(kCacheDir, 0755); }
+
+}  // namespace
+
+double Scale() {
+  static const double scale =
+      std::clamp(EnvDouble("SILOFUSE_BENCH_SCALE", 1.0), 0.1, 100.0);
+  return scale;
+}
+
+int Trials() {
+  static const int trials = static_cast<int>(
+      std::clamp(EnvDouble("SILOFUSE_BENCH_TRIALS", 1.0), 1.0, 10.0));
+  return trials;
+}
+
+BenchProfile MakeProfile(double scale) {
+  BenchProfile p;
+  p.scale = scale;
+  p.rows = static_cast<int>(std::lround(1400 * std::min(scale, 8.0)));
+  p.rows = std::max(400, p.rows);
+  auto scaled = [scale](int base) {
+    return std::max(50, static_cast<int>(std::lround(base * scale)));
+  };
+  p.ae_steps = scaled(400);
+  p.diffusion_steps = scaled(1000);
+  p.gan_steps = scaled(900);
+  p.tabddpm_steps = scaled(700);
+  return p;
+}
+
+const std::vector<std::string>& AllModelNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "GAN(conv)", "GAN(linear)", "E2E",        "E2EDistr",
+      "TabDDPM",   "LatentDiff",  "SiloFuse"};
+  return *names;
+}
+
+namespace {
+
+LatentDiffusionConfig MakeLatentConfig(const BenchProfile& p) {
+  LatentDiffusionConfig config;
+  config.autoencoder.hidden_dim = p.hidden_dim;
+  config.autoencoder_steps = p.ae_steps;
+  config.diffusion_train_steps = p.diffusion_steps;
+  config.batch_size = p.batch_size;
+  config.inference_steps = p.inference_steps;
+  config.diffusion.hidden_dim = p.hidden_dim;
+  return config;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Synthesizer>> MakeSynthesizer(
+    const std::string& model, const BenchProfile& p) {
+  if (model == "GAN(linear)" || model == "GAN(conv)") {
+    GanConfig config;
+    config.backbone =
+        model == "GAN(linear)" ? GanBackbone::kLinear : GanBackbone::kConv;
+    config.hidden_dim = p.hidden_dim;
+    config.train_steps = p.gan_steps;
+    config.batch_size = p.batch_size;
+    return {std::make_unique<GanSynthesizer>(config)};
+  }
+  if (model == "TabDDPM") {
+    TabDdpmConfig config;
+    config.hidden_dim = p.hidden_dim;
+    config.train_steps = p.tabddpm_steps;
+    config.batch_size = p.batch_size;
+    config.inference_steps = p.tabddpm_inference_steps;
+    return {std::make_unique<TabDdpmSynthesizer>(config)};
+  }
+  if (model == "LatentDiff") {
+    return {std::make_unique<LatentDiffSynthesizer>(MakeLatentConfig(p))};
+  }
+  if (model == "E2E") {
+    return {std::make_unique<E2ESynthesizer>(MakeLatentConfig(p))};
+  }
+  if (model == "E2EDistr") {
+    PartitionConfig partition;
+    partition.num_clients = p.num_clients;
+    return {std::make_unique<E2EDistrSynthesizer>(MakeLatentConfig(p),
+                                                  partition)};
+  }
+  if (model == "SiloFuse") {
+    SiloFuseOptions options;
+    options.base = MakeLatentConfig(p);
+    options.partition.num_clients = p.num_clients;
+    return {std::make_unique<SiloFuse>(options)};
+  }
+  return Status::NotFound("unknown model '" + model + "'");
+}
+
+Result<RealSplit> MakeRealSplit(const std::string& dataset, int trial,
+                                const BenchProfile& profile) {
+  SF_ASSIGN_OR_RETURN(auto info, GetPaperDatasetInfo(dataset));
+  const int rows = std::min(profile.rows, info.paper_rows);
+  SF_ASSIGN_OR_RETURN(Table data, GeneratePaperDataset(
+                                      dataset, rows, TrialSeed(dataset, trial)));
+  Rng rng(TrialSeed(dataset, trial) ^ 0xABCDEF);
+  TrainTestSplit split = SplitTrainTest(data, 0.25, &rng);
+  return RealSplit{std::move(split.train), std::move(split.test)};
+}
+
+Result<Table> GetOrSynthesize(const std::string& model,
+                              const std::string& dataset, int trial,
+                              const BenchProfile& profile,
+                              const Table& real_train) {
+  EnsureCacheDir();
+  const std::string path = CachePath(model, dataset, trial, profile.scale);
+  if (FileExists(path)) {
+    auto cached = ReadCsv(path, real_train.schema());
+    if (cached.ok()) return cached;
+    SF_LOG(Warning) << "ignoring unreadable cache " << path << ": "
+                    << cached.status().ToString();
+  }
+  SF_ASSIGN_OR_RETURN(auto synthesizer, MakeSynthesizer(model, profile));
+  Rng rng(TrialSeed(dataset, trial) ^ 0x5151F05EULL ^
+          std::hash<std::string>{}(model));
+  SF_RETURN_NOT_OK(synthesizer->Fit(real_train, &rng));
+  SF_ASSIGN_OR_RETURN(Table synth,
+                      synthesizer->Synthesize(real_train.num_rows(), &rng));
+  const Status write = WriteCsv(synth, path);
+  if (!write.ok()) {
+    SF_LOG(Warning) << "cannot write cache " << path << ": "
+                    << write.ToString();
+  }
+  return synth;
+}
+
+MeanStd Summarize(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  for (double v : values) out.mean += v;
+  out.mean /= values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.std_dev = std::sqrt(var / values.size());
+  return out;
+}
+
+std::string FormatMeanStd(const MeanStd& ms, int digits) {
+  return FormatDouble(ms.mean, digits) + " ±" +
+         FormatDouble(ms.std_dev, digits);
+}
+
+}  // namespace bench
+}  // namespace silofuse

@@ -1,0 +1,91 @@
+#ifndef SILOFUSE_BENCH_BENCH_COMMON_H_
+#define SILOFUSE_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the table/figure benchmarks.
+//
+// Knobs (environment variables):
+//   SILOFUSE_BENCH_SCALE  — float >= 0.1 (default 1.0): scales dataset rows
+//                           and training iterations. 1.0 finishes a full
+//                           table in minutes on one CPU core; raise it to
+//                           approach the paper's training budgets.
+//   SILOFUSE_BENCH_TRIALS — int (default 1): trials per cell (paper: 5).
+//
+// Trained synthetic tables are cached under ./silofuse_bench_cache/ keyed by
+// (model, dataset, trial, scale) so bench_table3/4/5/6 share one training
+// run per cell.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/generators/paper_datasets.h"
+#include "data/split.h"
+#include "data/table.h"
+#include "models/synthesizer.h"
+
+namespace silofuse {
+namespace bench {
+
+/// Benchmark scale from SILOFUSE_BENCH_SCALE (clamped to [0.1, 100]).
+double Scale();
+
+/// Trials per cell from SILOFUSE_BENCH_TRIALS (clamped to [1, 10]).
+int Trials();
+
+/// All training budgets/sizes used by the sweep at the current scale.
+struct BenchProfile {
+  double scale = 1.0;
+  int rows = 1400;          // generated rows per dataset
+  int ae_steps = 400;       // autoencoder minibatch steps
+  int diffusion_steps = 1000;
+  int gan_steps = 900;
+  int tabddpm_steps = 700;
+  int batch_size = 128;
+  int inference_steps = 25;       // latent models (paper setting)
+  int tabddpm_inference_steps = 40;
+  int hidden_dim = 128;
+  int num_clients = 4;            // paper default for distributed models
+};
+
+BenchProfile MakeProfile(double scale);
+
+/// The seven synthesizers of Tables III/IV, in the paper's row order.
+const std::vector<std::string>& AllModelNames();
+
+/// Builds a fresh synthesizer configured from the profile; error on unknown
+/// name.
+Result<std::unique_ptr<Synthesizer>> MakeSynthesizer(
+    const std::string& model, const BenchProfile& profile);
+
+/// Deterministic real train/test split for (dataset, trial).
+struct RealSplit {
+  Table train;
+  Table test;
+};
+Result<RealSplit> MakeRealSplit(const std::string& dataset, int trial,
+                                const BenchProfile& profile);
+
+/// Returns the synthetic table for (model, dataset, trial): reads the disk
+/// cache if present, otherwise trains the model on the real split's train
+/// table, synthesizes train-sized data, and writes the cache.
+Result<Table> GetOrSynthesize(const std::string& model,
+                              const std::string& dataset, int trial,
+                              const BenchProfile& profile,
+                              const Table& real_train);
+
+/// Mean and (population) standard deviation.
+struct MeanStd {
+  double mean = 0.0;
+  double std_dev = 0.0;
+};
+MeanStd Summarize(const std::vector<double>& values);
+
+/// "12.3 ±0.4" formatting used in the paper's tables.
+std::string FormatMeanStd(const MeanStd& ms, int digits = 1);
+
+}  // namespace bench
+}  // namespace silofuse
+
+#endif  // SILOFUSE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,101 @@
+// Microbenchmarks of the training/sampling primitives (google-benchmark).
+// Useful for locating regressions; not tied to a paper table.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generators/paper_datasets.h"
+#include "data/split.h"
+#include "diffusion/gaussian_ddpm.h"
+#include "ml/gbt.h"
+#include "models/autoencoder.h"
+#include "models/gan.h"
+#include "tensor/matrix.h"
+
+namespace silofuse {
+namespace {
+
+void BM_MatMul128(benchmark::State& state) {
+  Rng rng(1);
+  Matrix a = Matrix::RandomNormal(192, 128, &rng);
+  Matrix b = Matrix::RandomNormal(128, 128, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+}
+BENCHMARK(BM_MatMul128);
+
+void BM_DdpmTrainStep(benchmark::State& state) {
+  Rng rng(2);
+  GaussianDdpmConfig config;
+  config.data_dim = 13;
+  config.hidden_dim = 128;
+  GaussianDdpm ddpm(config, &rng);
+  Matrix z0 = Matrix::RandomNormal(192, 13, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddpm.TrainStep(z0, &rng));
+  }
+}
+BENCHMARK(BM_DdpmTrainStep);
+
+void BM_DdpmSample25(benchmark::State& state) {
+  Rng rng(3);
+  GaussianDdpmConfig config;
+  config.data_dim = 13;
+  config.hidden_dim = 128;
+  GaussianDdpm ddpm(config, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddpm.Sample(256, 25, &rng));
+  }
+}
+BENCHMARK(BM_DdpmSample25);
+
+void BM_AutoencoderTrainStep(benchmark::State& state) {
+  Rng rng(4);
+  Table data = GeneratePaperDataset("loan", 400, 1).Value();
+  AutoencoderConfig config;
+  config.hidden_dim = 32;
+  auto ae = TabularAutoencoder::Create(data, config, &rng).Value();
+  Matrix x = ae->mixed_encoder().Encode(data);
+  Matrix batch = x.SliceRows(0, 192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ae->TrainStep(batch));
+  }
+}
+BENCHMARK(BM_AutoencoderTrainStep);
+
+void BM_GanTrainStep(benchmark::State& state) {
+  Rng rng(5);
+  Table data = GeneratePaperDataset("loan", 400, 1).Value();
+  GanConfig config;
+  config.train_steps = 1;
+  GanSynthesizer gan(config);
+  SF_CHECK(gan.Fit(data, &rng).ok());
+  MixedEncoder encoder(NumericScaling::kMinMax);
+  SF_CHECK(encoder.Fit(data).ok());
+  Matrix x = encoder.Encode(data);
+  Matrix batch = x.SliceRows(0, 192);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gan.TrainStep(batch, &rng));
+  }
+}
+BENCHMARK(BM_GanTrainStep);
+
+void BM_GbtTrainBinary(benchmark::State& state) {
+  Rng rng(6);
+  Table data = GeneratePaperDataset("loan", 600, 1).Value();
+  Matrix x = data.ToMatrix();
+  std::vector<double> y(x.rows());
+  for (int r = 0; r < x.rows(); ++r) y[r] = r % 2;
+  GbtConfig config;
+  config.num_trees = 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GbtModel::Train(x, y, GbtTask::kBinary, 2, config, &rng));
+  }
+}
+BENCHMARK(BM_GbtTrainBinary);
+
+}  // namespace
+}  // namespace silofuse
+
+BENCHMARK_MAIN();

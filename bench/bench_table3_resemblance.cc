@@ -1,0 +1,84 @@
+// Table III: resemblance scores (0-100) of all seven synthesizers on the
+// nine benchmark datasets, plus the percentage-point difference (PPD) of
+// SiloFuse over the best GAN. Expected shape (Section V-C): diffusion
+// models beat GANs; LatentDiff/TabDDPM upper-bound SiloFuse; E2E baselines
+// trail the stacked latent models.
+
+#include <chrono>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "metrics/report.h"
+#include "metrics/resemblance.h"
+
+using namespace silofuse;
+
+int main() {
+  const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
+  const int trials = bench::Trials();
+  std::cout << "== Table III: resemblance scores (scale=" << profile.scale
+            << ", trials=" << trials << ") ==\n\n";
+
+  const auto& datasets = PaperDatasetNames();
+  const auto& models = bench::AllModelNames();
+  std::vector<std::string> header = {"Model"};
+  header.insert(header.end(), datasets.begin(), datasets.end());
+  TextTable table(header);
+
+  // scores[model][dataset] = mean resemblance.
+  std::map<std::string, std::map<std::string, double>> scores;
+  for (const std::string& model : models) {
+    std::vector<std::string> row = {model};
+    for (const std::string& dataset : datasets) {
+      std::vector<double> trial_scores;
+      for (int trial = 0; trial < trials; ++trial) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto split = bench::MakeRealSplit(dataset, trial, profile);
+        if (!split.ok()) {
+          std::cerr << split.status().ToString() << "\n";
+          return 1;
+        }
+        auto synth = bench::GetOrSynthesize(model, dataset, trial, profile,
+                                            split.Value().train);
+        if (!synth.ok()) {
+          std::cerr << model << "/" << dataset << ": "
+                    << synth.status().ToString() << "\n";
+          return 1;
+        }
+        Rng rng(1000 + trial);
+        auto res =
+            ComputeResemblance(split.Value().train, synth.Value(), &rng);
+        if (!res.ok()) {
+          std::cerr << res.status().ToString() << "\n";
+          return 1;
+        }
+        trial_scores.push_back(res.Value().overall);
+        const auto t1 = std::chrono::steady_clock::now();
+        std::cerr << "[" << model << "/" << dataset << " trial " << trial
+                  << "] resemblance "
+                  << FormatDouble(res.Value().overall, 1) << " ("
+                  << FormatDouble(std::chrono::duration<double>(t1 - t0).count(), 1)
+                  << "s)\n";
+      }
+      const bench::MeanStd ms = bench::Summarize(trial_scores);
+      scores[model][dataset] = ms.mean;
+      row.push_back(bench::FormatMeanStd(ms));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  // PPD of SiloFuse vs the best GAN per dataset (paper's bottom row).
+  std::vector<std::string> ppd_row = {"PPD (vs GAN)"};
+  for (const std::string& dataset : datasets) {
+    const double best_gan = std::max(scores["GAN(conv)"][dataset],
+                                     scores["GAN(linear)"][dataset]);
+    ppd_row.push_back(
+        FormatDouble(scores["SiloFuse"][dataset] - best_gan, 1));
+  }
+  table.AddRow(std::move(ppd_row));
+
+  std::cout << table.ToString();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table IV: downstream utility scores (0-100) — a GBT model is trained on
+// synthetic data and evaluated on a real holdout; the score is the percent
+// ratio to the same model trained on real data (clipped at 100).
+// Shares the synthetic-data cache with bench_table3.
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "metrics/report.h"
+#include "metrics/utility.h"
+
+using namespace silofuse;
+
+int main() {
+  const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
+  const int trials = bench::Trials();
+  std::cout << "== Table IV: utility scores (scale=" << profile.scale
+            << ", trials=" << trials << ") ==\n\n";
+
+  const auto& datasets = PaperDatasetNames();
+  const auto& models = bench::AllModelNames();
+  std::vector<std::string> header = {"Model"};
+  header.insert(header.end(), datasets.begin(), datasets.end());
+  TextTable table(header);
+
+  std::map<std::string, std::map<std::string, double>> scores;
+  for (const std::string& model : models) {
+    std::vector<std::string> row = {model};
+    for (const std::string& dataset : datasets) {
+      const DatasetTask task = GetPaperDatasetInfo(dataset).Value().task;
+      std::vector<double> trial_scores;
+      for (int trial = 0; trial < trials; ++trial) {
+        auto split = bench::MakeRealSplit(dataset, trial, profile);
+        if (!split.ok()) {
+          std::cerr << split.status().ToString() << "\n";
+          return 1;
+        }
+        auto synth = bench::GetOrSynthesize(model, dataset, trial, profile,
+                                            split.Value().train);
+        if (!synth.ok()) {
+          std::cerr << model << "/" << dataset << ": "
+                    << synth.status().ToString() << "\n";
+          return 1;
+        }
+        Rng rng(2000 + trial);
+        auto utility = ComputeUtility(split.Value().train, split.Value().test,
+                                      synth.Value(), task, &rng);
+        if (!utility.ok()) {
+          std::cerr << utility.status().ToString() << "\n";
+          return 1;
+        }
+        trial_scores.push_back(utility.Value().utility);
+        std::cerr << "[" << model << "/" << dataset << " trial " << trial
+                  << "] utility "
+                  << FormatDouble(utility.Value().utility, 1) << " (real "
+                  << FormatDouble(utility.Value().real_score, 3) << ", synth "
+                  << FormatDouble(utility.Value().synth_score, 3) << ")\n";
+      }
+      const bench::MeanStd ms = bench::Summarize(trial_scores);
+      scores[model][dataset] = ms.mean;
+      row.push_back(bench::FormatMeanStd(ms));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::vector<std::string> ppd_row = {"PPD (vs GAN)"};
+  for (const std::string& dataset : datasets) {
+    const double best_gan = std::max(scores["GAN(conv)"][dataset],
+                                     scores["GAN(linear)"][dataset]);
+    ppd_row.push_back(
+        FormatDouble(scores["SiloFuse"][dataset] - best_gan, 1));
+  }
+  table.AddRow(std::move(ppd_row));
+
+  std::cout << table.ToString();
+  return 0;
+}

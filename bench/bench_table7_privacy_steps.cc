@@ -1,0 +1,76 @@
+// Table VII: sensitivity of the privacy score to the number of denoising
+// (inference) steps on one easy (abalone) and one hard (heloc) dataset.
+// Expected shape: very few steps leave residual noise in the latents, so
+// privacy is highest at 2 steps and saturates quickly by 25 steps.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "metrics/report.h"
+#include "models/latent_diffusion.h"
+#include "privacy/attacks.h"
+
+using namespace silofuse;
+
+int main() {
+  const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
+  std::cout << "== Table VII: privacy vs denoising steps (scale="
+            << profile.scale << ") ==\n\n";
+
+  const std::vector<std::string> datasets = {"abalone", "heloc"};
+  const std::vector<int> step_counts = {2, 5, 25};
+
+  TextTable table({"Dataset", "2 steps", "5 steps", "25 steps"});
+  PrivacyConfig privacy_config;
+  privacy_config.num_attacks = 400;
+
+  for (const std::string& dataset : datasets) {
+    auto split = bench::MakeRealSplit(dataset, /*trial=*/0, profile);
+    if (!split.ok()) {
+      std::cerr << split.status().ToString() << "\n";
+      return 1;
+    }
+    const Table& train = split.Value().train;
+
+    // Train one latent diffusion model, then vary only inference steps.
+    LatentDiffusionConfig config;
+    config.autoencoder.hidden_dim = profile.hidden_dim;
+    config.autoencoder_steps = profile.ae_steps;
+    config.diffusion_train_steps = profile.diffusion_steps;
+    config.batch_size = profile.batch_size;
+    config.diffusion.hidden_dim = profile.hidden_dim;
+    LatentDiffSynthesizer model(config);
+    Rng rng(4242);
+    Status fit = model.Fit(train, &rng);
+    if (!fit.ok()) {
+      std::cerr << fit.ToString() << "\n";
+      return 1;
+    }
+
+    std::vector<std::string> row = {dataset};
+    for (int steps : step_counts) {
+      auto latents = model.SampleLatents(train.num_rows(), steps, &rng);
+      if (!latents.ok()) {
+        std::cerr << latents.status().ToString() << "\n";
+        return 1;
+      }
+      Table synth =
+          model.autoencoder()->DecodeToTable(latents.Value(), &rng, true);
+      auto privacy = ComputePrivacy(train, synth, privacy_config, &rng);
+      if (!privacy.ok()) {
+        std::cerr << privacy.status().ToString() << "\n";
+        return 1;
+      }
+      row.push_back(FormatDouble(privacy.Value().overall, 2));
+      std::cerr << "[" << dataset << " steps=" << steps << "] privacy "
+                << FormatDouble(privacy.Value().overall, 2) << "\n";
+    }
+    table.AddRow(std::move(row));
+  }
+  std::cout << table.ToString();
+  std::cout << "\nFewer denoising steps leave more residual noise in the "
+               "synthetic latents,\nraising privacy at the cost of sample "
+               "fidelity; scores saturate within a few steps.\n";
+  return 0;
+}

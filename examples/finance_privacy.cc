@@ -1,0 +1,106 @@
+// The Example II.2 scenario: Company A holds personal attributes, Company B
+// holds financial behaviour for the same individuals. The example trains
+// SiloFuse across the two silos and then *audits* the privacy risk of
+// sharing the synthetic features post-generation, running the paper's three
+// attacks (Section V-B/V-F) against both a leaked-copy worst case and the
+// actual SiloFuse output.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "core/silofuse.h"
+#include "data/generators/copula_generator.h"
+#include "metrics/report.h"
+#include "privacy/attacks.h"
+
+using namespace silofuse;
+
+namespace {
+
+Table MakeCustomerData(int customers) {
+  std::vector<ColumnSpec> columns = {
+      // Company A: personal attributes.
+      ColumnSpec::Categorical("region", 8),
+      ColumnSpec::Numeric("age"),
+      ColumnSpec::Categorical("household_size", 5),
+      // Company B: financial behaviour.
+      ColumnSpec::Numeric("income"),
+      ColumnSpec::Numeric("monthly_spend"),
+      ColumnSpec::Categorical("credit_tier", 4),
+      ColumnSpec::Categorical("defaulted", 2),
+  };
+  CopulaConfig config = MakeRandomCopulaConfig(columns, /*target=*/6,
+                                               /*seed=*/777, 3);
+  CopulaGenerator generator(config);
+  Rng rng(41);
+  return generator.Generate(customers, &rng).Value();
+}
+
+void PrintAttackRow(TextTable* table, const std::string& name,
+                    const PrivacyBreakdown& p) {
+  table->AddRow({name, FormatDouble(p.singling_out.score, 1),
+                 FormatDouble(p.linkability.score, 1),
+                 FormatDouble(p.attribute_inference.score, 1),
+                 FormatDouble(p.overall, 1)});
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Cross-silo finance privacy audit (Example II.2) ==\n";
+  Table customers = MakeCustomerData(900);
+  const std::vector<std::vector<int>> partition = {{0, 1, 2}, {3, 4, 5, 6}};
+
+  SiloFuseOptions options;
+  options.base.autoencoder.hidden_dim = 96;
+  options.base.autoencoder_steps = 350;
+  options.base.diffusion_train_steps = 700;
+  options.base.batch_size = 128;
+  SiloFuse model(options);
+  Rng rng(42);
+  std::vector<Table> silos = {customers.SelectColumns(partition[0]),
+                              customers.SelectColumns(partition[1])};
+  if (Status s = model.FitPartitioned(std::move(silos), partition, &rng);
+      !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+
+  auto synth = model.Synthesize(customers.num_rows(), &rng);
+  if (!synth.ok()) {
+    std::cerr << synth.status().ToString() << "\n";
+    return 1;
+  }
+
+  PrivacyConfig config;
+  config.num_attacks = 200;
+
+  // The linkability adversary mirrors the silo split: it tries to re-link
+  // Company A's attributes to Company B's using the shared synthetic table.
+  auto run_audit = [&](const Table& candidate) {
+    PrivacyBreakdown p;
+    p.singling_out = SinglingOutAttack(customers, candidate, config, &rng);
+    p.linkability = LinkabilityAttack(customers, candidate, config, &rng,
+                                      partition[0], partition[1]);
+    p.attribute_inference = AttributeInferenceAttack(
+        customers, candidate,
+        customers.schema().ColumnIndex("defaulted").Value(), config, &rng);
+    p.overall = (p.singling_out.score + p.linkability.score +
+                 p.attribute_inference.score) /
+                3.0;
+    return p;
+  };
+
+  TextTable table({"Shared data", "Singling-out", "Linkability",
+                   "Attr-inference", "Overall"});
+  PrintAttackRow(&table, "leaked real copy (worst case)",
+                 run_audit(customers));
+  PrintAttackRow(&table, "SiloFuse synthetic", run_audit(synth.Value()));
+  std::cout << "\n" << table.ToString();
+  std::cout << "\nScores are 100*(1 - baseline-corrected attack success); "
+               "higher is safer.\nKeeping the synthetic data vertically "
+               "partitioned (SynthesizePartitioned) avoids\nthe linkability "
+               "channel entirely — see Theorem 1 for the training-time "
+               "guarantee.\n";
+  return 0;
+}

@@ -1,0 +1,233 @@
+// silofuse_cli — command-line driver for the SiloFuse library.
+//
+// Subcommands:
+//   generate   --dataset <name> --rows N [--seed S] --out data.csv
+//   fit        --data data.csv [--clients M] [--ae-steps N]
+//              [--diffusion-steps N] [--batch N] [--hidden N] [--seed S]
+//              --out model.ckpt
+//   synthesize --model model.ckpt --rows N [--seed S] --out synth.csv
+//   evaluate   --real data.csv --synth synth.csv [--target column]
+//              [--seed S] [--attacks N]
+//
+// `fit` infers the schema from the CSV (integer columns with <= 64 distinct
+// values become categorical). `evaluate` prints resemblance, privacy, and —
+// when --target names a column — downstream utility.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/silofuse.h"
+#include "data/csv.h"
+#include "data/generators/paper_datasets.h"
+#include "data/split.h"
+#include "metrics/resemblance.h"
+#include "metrics/utility.h"
+#include "privacy/attacks.h"
+
+using namespace silofuse;
+
+namespace {
+
+/// Minimal --flag value parser; positional args unsupported by design.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        ok_ = false;
+        error_ = "expected --flag, got '" + key + "'";
+        return;
+      }
+      values_[key.substr(2)] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      ok_ = false;
+      error_ = "flag '" + std::string(argv[argc - 1]) + "' is missing a value";
+    }
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int GetInt(const std::string& key, int fallback) const {
+    const std::string v = Get(key);
+    return v.empty() ? fallback : std::atoi(v.c_str());
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  bool ok_ = true;
+  std::string error_;
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr <<
+      "usage: silofuse_cli <command> [--flag value]...\n"
+      "  generate   --dataset <name> --rows N [--seed S] --out data.csv\n"
+      "  fit        --data data.csv [--clients M] [--ae-steps N]\n"
+      "             [--diffusion-steps N] [--batch N] [--hidden N]\n"
+      "             [--seed S] --out model.ckpt\n"
+      "  synthesize --model model.ckpt --rows N [--seed S] --out synth.csv\n"
+      "  evaluate   --real data.csv --synth synth.csv [--target column]\n"
+      "             [--seed S] [--attacks N]\n"
+      "  datasets   (lists the built-in benchmark dataset names)\n";
+  return 2;
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string dataset = flags.Get("dataset");
+  const std::string out = flags.Get("out");
+  const int rows = flags.GetInt("rows", 1000);
+  if (dataset.empty() || out.empty()) return Usage();
+  auto table = GeneratePaperDataset(dataset, rows, flags.GetInt("seed", 1));
+  if (!table.ok()) return Fail(table.status());
+  if (Status s = WriteCsv(table.Value(), out); !s.ok()) return Fail(s);
+  std::cout << "wrote " << rows << " rows of '" << dataset << "' to " << out
+            << "\n";
+  return 0;
+}
+
+int CmdFit(const Flags& flags) {
+  const std::string data_path = flags.Get("data");
+  const std::string out = flags.Get("out");
+  if (data_path.empty() || out.empty()) return Usage();
+  auto data = ReadCsvInferSchema(data_path, /*max_categorical_cardinality=*/64);
+  if (!data.ok()) return Fail(data.status());
+
+  SiloFuseOptions options;
+  options.partition.num_clients = flags.GetInt("clients", 4);
+  options.base.autoencoder.hidden_dim = flags.GetInt("hidden", 128);
+  options.base.diffusion.hidden_dim = flags.GetInt("hidden", 128);
+  options.base.autoencoder_steps = flags.GetInt("ae-steps", 400);
+  options.base.diffusion_train_steps = flags.GetInt("diffusion-steps", 1000);
+  options.base.batch_size = flags.GetInt("batch", 128);
+
+  SiloFuse model(options);
+  Rng rng(flags.GetInt("seed", 7));
+  std::cout << "fitting SiloFuse on " << data.Value().num_rows() << " rows x "
+            << data.Value().num_columns() << " columns across "
+            << options.partition.num_clients << " clients...\n";
+  if (Status s = model.Fit(data.Value(), &rng); !s.ok()) return Fail(s);
+  std::cout << model.channel().Summary();
+  if (Status s = model.SaveCheckpoint(out); !s.ok()) return Fail(s);
+  std::cout << "checkpoint written to " << out << "\n";
+  return 0;
+}
+
+int CmdSynthesize(const Flags& flags) {
+  const std::string model_path = flags.Get("model");
+  const std::string out = flags.Get("out");
+  const int rows = flags.GetInt("rows", 1000);
+  if (model_path.empty() || out.empty()) return Usage();
+  auto model = SiloFuse::LoadCheckpoint(model_path);
+  if (!model.ok()) return Fail(model.status());
+  Rng rng(flags.GetInt("seed", 7));
+  auto synth = model.Value()->Synthesize(rows, &rng);
+  if (!synth.ok()) return Fail(synth.status());
+  if (Status s = WriteCsv(synth.Value(), out); !s.ok()) return Fail(s);
+  std::cout << "wrote " << rows << " synthetic rows to " << out << "\n";
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  const std::string real_path = flags.Get("real");
+  const std::string synth_path = flags.Get("synth");
+  if (real_path.empty() || synth_path.empty()) return Usage();
+  auto real = ReadCsvInferSchema(real_path, 64);
+  if (!real.ok()) return Fail(real.status());
+  auto synth = ReadCsv(synth_path, real.Value().schema());
+  if (!synth.ok()) return Fail(synth.status());
+  Rng rng(flags.GetInt("seed", 7));
+
+  auto res = ComputeResemblance(real.Value(), synth.Value(), &rng);
+  if (!res.ok()) return Fail(res.status());
+  const ResemblanceBreakdown& r = res.Value();
+  std::cout << "resemblance: " << FormatDouble(r.overall, 1) << " (column "
+            << FormatDouble(r.column_similarity, 1) << ", correlation "
+            << FormatDouble(r.correlation_similarity, 1) << ", JS "
+            << FormatDouble(r.jensen_shannon, 1) << ", KS "
+            << FormatDouble(r.kolmogorov_smirnov, 1) << ", propensity "
+            << FormatDouble(r.propensity, 1) << ")\n";
+
+  PrivacyConfig privacy_config;
+  privacy_config.num_attacks = flags.GetInt("attacks", 200);
+  auto privacy =
+      ComputePrivacy(real.Value(), synth.Value(), privacy_config, &rng);
+  if (!privacy.ok()) return Fail(privacy.status());
+  std::cout << "privacy: " << FormatDouble(privacy.Value().overall, 1)
+            << " (singling-out "
+            << FormatDouble(privacy.Value().singling_out.score, 1)
+            << ", linkability "
+            << FormatDouble(privacy.Value().linkability.score, 1)
+            << ", attribute-inference "
+            << FormatDouble(privacy.Value().attribute_inference.score, 1)
+            << ")\n";
+
+  if (flags.Has("target")) {
+    const std::string target = flags.Get("target");
+    auto target_idx = real.Value().schema().ColumnIndex(target);
+    if (!target_idx.ok()) return Fail(target_idx.status());
+    DatasetTask task;
+    task.target_column = target;
+    task.classification =
+        real.Value().schema().column(target_idx.Value()).is_categorical();
+    TrainTestSplit split = SplitTrainTest(real.Value(), 0.25, &rng);
+    auto utility = ComputeUtility(split.train, split.test, synth.Value(),
+                                  task, &rng);
+    if (!utility.ok()) return Fail(utility.status());
+    std::cout << "utility: " << FormatDouble(utility.Value().utility, 1)
+              << " (real score "
+              << FormatDouble(utility.Value().real_score, 3)
+              << ", synthetic score "
+              << FormatDouble(utility.Value().synth_score, 3) << ", task "
+              << (task.classification ? "classification" : "regression")
+              << ")\n";
+  }
+  return 0;
+}
+
+int CmdDatasets() {
+  for (const std::string& name : PaperDatasetNames()) {
+    auto info = GetPaperDatasetInfo(name).Value();
+    std::cout << name << " (" << info.schema.num_columns() << " columns, "
+              << "target '" << info.task.target_column << "', "
+              << (info.task.classification ? "classification" : "regression")
+              << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) {
+    std::cerr << "error: " << flags.error() << "\n";
+    return 2;
+  }
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "fit") return CmdFit(flags);
+  if (command == "synthesize") return CmdSynthesize(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "datasets") return CmdDatasets();
+  return Usage();
+}

@@ -1,0 +1,62 @@
+#ifndef SILOFUSE_COMMON_CHECK_H_
+#define SILOFUSE_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace silofuse {
+namespace internal_check {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used by the SF_CHECK family; not part of the public API.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace silofuse
+
+/// Aborts with a diagnostic if `condition` is false. Active in all builds;
+/// used for internal invariants that indicate programmer error (fallible
+/// user-facing operations return Status instead).
+#define SF_CHECK(condition)                                      \
+  if (!(condition))                                              \
+  ::silofuse::internal_check::CheckFailureStream("SF_CHECK", __FILE__, \
+                                                 __LINE__, #condition)
+
+#define SF_CHECK_EQ(a, b) SF_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define SF_CHECK_NE(a, b) SF_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define SF_CHECK_LT(a, b) SF_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define SF_CHECK_LE(a, b) SF_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define SF_CHECK_GT(a, b) SF_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define SF_CHECK_GE(a, b) SF_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+/// Debug-only check (compiled out in NDEBUG builds). For hot loops.
+#ifdef NDEBUG
+#define SF_DCHECK(condition) \
+  if (false) SF_CHECK(condition)
+#else
+#define SF_DCHECK(condition) SF_CHECK(condition)
+#endif
+
+#endif  // SILOFUSE_COMMON_CHECK_H_

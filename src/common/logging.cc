@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+
+namespace silofuse {
+namespace {
+
+LogLevel InitialLevel() {
+  if (std::getenv("SILOFUSE_QUIET") != nullptr) return LogLevel::kWarning;
+  if (std::getenv("SILOFUSE_VERBOSE") != nullptr) return LogLevel::kDebug;
+  return LogLevel::kInfo;
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = InitialLevel();
+  return level;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return MutableLevel(); }
+
+void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Trim to the basename so log lines stay short.
+  std::string path(file);
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) path = path.substr(slash + 1);
+  stream_ << "[" << LevelTag(level) << " " << path << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::ostream& out = (level_ >= LogLevel::kWarning) ? std::cerr : std::clog;
+  out << stream_.str() << std::endl;
+}
+
+}  // namespace internal_logging
+}  // namespace silofuse

@@ -1,0 +1,58 @@
+#ifndef SILOFUSE_COMMON_LOGGING_H_
+#define SILOFUSE_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace silofuse {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Returns the process-wide minimum level emitted by SF_LOG.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum level emitted by SF_LOG. Messages below the
+/// level are discarded. Default is kInfo (kWarning when the environment
+/// variable SILOFUSE_QUIET is set).
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Buffers one log line and flushes it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement whose level is below the threshold.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define SF_LOG(level)                                                     \
+  if (::silofuse::LogLevel::k##level < ::silofuse::GetLogLevel())         \
+    ;                                                                     \
+  else                                                                    \
+    ::silofuse::internal_logging::LogMessage(::silofuse::LogLevel::k##level, \
+                                             __FILE__, __LINE__)
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_COMMON_LOGGING_H_

@@ -1,0 +1,40 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace silofuse {
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  SF_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SF_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  SF_CHECK_GT(total, 0.0) << "Categorical weights sum to zero";
+  double r = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  Shuffle(&perm);
+  return perm;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  SF_CHECK_LE(k, n);
+  std::vector<int> perm = Permutation(n);
+  perm.resize(k);
+  return perm;
+}
+
+}  // namespace silofuse

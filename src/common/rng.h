@@ -1,0 +1,73 @@
+#ifndef SILOFUSE_COMMON_RNG_H_
+#define SILOFUSE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace silofuse {
+
+/// Deterministic random number source used throughout the library.
+///
+/// Every stochastic component (weight init, diffusion noise, dataset
+/// generators, attacks) takes an Rng so experiments are reproducible from a
+/// single seed. Not thread-safe; create one Rng per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard normal (or scaled) sample.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Samples an index proportional to `weights` (need not be normalized).
+  /// All weights must be non-negative, with a positive sum.
+  int Categorical(const std::vector<double>& weights);
+
+  /// Random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from {0, ..., n-1} (k <= n).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Derives an independent child generator (for per-client streams).
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_COMMON_RNG_H_

@@ -1,0 +1,176 @@
+#include "core/silofuse.h"
+
+#include <algorithm>
+
+#include <fstream>
+
+#include "common/archive.h"
+#include "common/logging.h"
+
+namespace silofuse {
+
+Status SiloFuse::Fit(const Table& data, Rng* rng) {
+  SF_ASSIGN_OR_RETURN(auto partition,
+                      PartitionColumns(data.num_columns(), options_.partition));
+  std::vector<Table> parts;
+  parts.reserve(partition.size());
+  for (const auto& cols : partition) parts.push_back(data.SelectColumns(cols));
+  return FitPartitioned(std::move(parts), std::move(partition), rng);
+}
+
+Status SiloFuse::FitPartitioned(std::vector<Table> parts,
+                                std::vector<std::vector<int>> partition,
+                                Rng* rng) {
+  if (parts.empty()) return Status::InvalidArgument("no client feature sets");
+  if (parts.size() != partition.size()) {
+    return Status::InvalidArgument("parts/partition size mismatch");
+  }
+  const int rows = parts[0].num_rows();
+  for (const Table& p : parts) {
+    if (p.num_rows() != rows) {
+      return Status::InvalidArgument(
+          "client feature sets are not row-aligned (run PSI first)");
+    }
+  }
+  channel_.Reset();
+  partition_ = std::move(partition);
+  clients_.clear();
+
+  const int num_clients = static_cast<int>(parts.size());
+  AutoencoderConfig client_config = options_.base.autoencoder;
+  client_config.hidden_dim = std::max(
+      options_.min_client_hidden, client_config.hidden_dim / num_clients);
+
+  // --- Algorithm 1, lines 1-7: local autoencoder training, in parallel ---
+  for (int i = 0; i < num_clients; ++i) {
+    Rng client_rng = rng->Fork();
+    SF_ASSIGN_OR_RETURN(auto client,
+                        SiloClient::Create(i, std::move(parts[i]),
+                                           client_config, &client_rng));
+    const double loss = client->TrainAutoencoder(
+        options_.base.autoencoder_steps, options_.base.batch_size, &client_rng);
+    SF_LOG(Debug) << "SiloFuse client " << i << " AE loss " << loss;
+    clients_.push_back(std::move(client));
+  }
+
+  // --- Lines 8-10: the single communication round — latents to the
+  // coordinator, Z = Z_1 || ... || Z_M.
+  channel_.BeginRound();
+  std::vector<Matrix> latents;
+  latents.reserve(clients_.size());
+  for (auto& client : clients_) {
+    Matrix z_i = client->ComputeLatents();
+    channel_.SendMatrix(client->party_name(), "coordinator", z_i,
+                        "training_latents");
+    latents.push_back(std::move(z_i));
+  }
+  Matrix z = Matrix::ConcatCols(latents);
+
+  // --- Lines 11-15: coordinator trains the diffusion backbone locally ---
+  coordinator_ = std::make_unique<Coordinator>(options_.base.diffusion);
+  Rng coord_rng = rng->Fork();
+  SF_RETURN_NOT_OK(coordinator_->TrainOnLatents(
+      z, options_.base.diffusion_train_steps, options_.base.batch_size,
+      &coord_rng));
+  fitted_ = true;
+  return Status::OK();
+}
+
+int SiloFuse::total_latent_dim() const {
+  int total = 0;
+  for (const auto& client : clients_) total += client->latent_dim();
+  return total;
+}
+
+Result<std::vector<Table>> SiloFuse::SynthesizePartitioned(int num_rows,
+                                                           Rng* rng) {
+  if (!fitted_) return Status::FailedPrecondition("Fit SiloFuse first");
+  if (num_rows <= 0) return Status::InvalidArgument("num_rows must be > 0");
+  // Algorithm 2: coordinator samples noise and denoises...
+  SF_ASSIGN_OR_RETURN(
+      Matrix z, coordinator_->SampleLatents(num_rows,
+                                            options_.base.inference_steps,
+                                            options_.base.sampling_eta, rng));
+  // ... partitions Z~ = Z~_1 || ... || Z~_M and ships each client its slice.
+  channel_.BeginRound();
+  std::vector<Table> outputs;
+  outputs.reserve(clients_.size());
+  int offset = 0;
+  for (auto& client : clients_) {
+    Matrix z_i = z.SliceCols(offset, client->latent_dim());
+    offset += client->latent_dim();
+    channel_.SendMatrix("coordinator", client->party_name(), z_i,
+                        "synthetic_latents");
+    outputs.push_back(client->Decode(z_i, rng, /*sample=*/true));
+  }
+  return outputs;
+}
+
+Result<Table> SiloFuse::Synthesize(int num_rows, Rng* rng) {
+  SF_ASSIGN_OR_RETURN(auto parts, SynthesizePartitioned(num_rows, rng));
+  return ReassembleColumns(parts, partition_);
+}
+
+namespace {
+constexpr char kCheckpointMagic[] = "SILOFUSE_CKPT_V1";
+}  // namespace
+
+Status SiloFuse::SaveCheckpoint(const std::string& path) {
+  if (!fitted_) {
+    return Status::FailedPrecondition("cannot checkpoint an unfitted model");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  BinaryWriter writer(&out);
+  writer.WriteString(kCheckpointMagic);
+  writer.WriteI32(options_.base.inference_steps);
+  writer.WriteF64(options_.base.sampling_eta);
+  writer.WriteU64(partition_.size());
+  for (const auto& cols : partition_) {
+    writer.WriteU64(cols.size());
+    for (int c : cols) writer.WriteI32(c);
+  }
+  for (auto& client : clients_) client->autoencoder()->Save(&writer);
+  SF_RETURN_NOT_OK(coordinator_->Save(&writer));
+  if (!writer.ok() || !out) {
+    return Status::IOError("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SiloFuse>> SiloFuse::LoadCheckpoint(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  BinaryReader reader(&in);
+  SF_RETURN_NOT_OK(reader.ExpectTag(kCheckpointMagic));
+  auto model = std::make_unique<SiloFuse>();
+  SF_ASSIGN_OR_RETURN(model->options_.base.inference_steps, reader.ReadI32());
+  SF_ASSIGN_OR_RETURN(model->options_.base.sampling_eta, reader.ReadF64());
+  SF_ASSIGN_OR_RETURN(uint64_t num_clients, reader.ReadU64());
+  if (num_clients == 0 || num_clients > 4096) {
+    return Status::IOError("corrupt client count in checkpoint");
+  }
+  model->options_.partition.num_clients = static_cast<int>(num_clients);
+  model->partition_.resize(num_clients);
+  for (auto& cols : model->partition_) {
+    SF_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+    if (count > kMaxArchiveVectorLength) {
+      return Status::IOError("corrupt partition in checkpoint");
+    }
+    cols.resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      SF_ASSIGN_OR_RETURN(cols[i], reader.ReadI32());
+    }
+  }
+  for (uint64_t i = 0; i < num_clients; ++i) {
+    SF_ASSIGN_OR_RETURN(auto autoencoder, TabularAutoencoder::LoadFrom(&reader));
+    model->clients_.push_back(
+        SiloClient::FromAutoencoder(static_cast<int>(i), std::move(autoencoder)));
+  }
+  SF_ASSIGN_OR_RETURN(model->coordinator_, Coordinator::LoadFrom(&reader));
+  model->fitted_ = true;
+  return model;
+}
+
+}  // namespace silofuse

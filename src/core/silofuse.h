@@ -1,0 +1,105 @@
+#ifndef SILOFUSE_CORE_SILOFUSE_H_
+#define SILOFUSE_CORE_SILOFUSE_H_
+
+#include <memory>
+#include <vector>
+
+#include "distributed/channel.h"
+#include "distributed/client.h"
+#include "distributed/coordinator.h"
+#include "distributed/partition.h"
+#include "models/latent_diffusion.h"
+#include "models/synthesizer.h"
+
+namespace silofuse {
+
+/// Configuration of a SiloFuse deployment.
+struct SiloFuseOptions {
+  /// Model sizes and training budgets shared with the centralized
+  /// baselines. Client autoencoders get hidden_dim / num_clients hidden
+  /// units ("embedding and hidden dimensions ... equally partitioned
+  /// between clients"); each client's latent width defaults to its column
+  /// count.
+  LatentDiffusionConfig base;
+  PartitionConfig partition;  // paper default: 4 clients, no permutation
+  /// Minimum per-client hidden width after the split.
+  int min_client_hidden = 16;
+};
+
+/// SiloFuse: cross-silo synthetic data generation with a distributed latent
+/// tabular diffusion model (the paper's core contribution).
+///
+/// Training follows Algorithm 1: each client trains a private autoencoder
+/// on its vertical feature slice, ships its latent matrix to the coordinator
+/// exactly once, and the coordinator trains a Gaussian DDPM on the
+/// concatenated latents — one communication round regardless of iteration
+/// counts. Synthesis follows Algorithm 2: the coordinator denoises Gaussian
+/// noise into synthetic latents, sends each client its slice, and clients
+/// decode locally, preserving vertical partitioning.
+///
+/// Usage:
+///   SiloFuse model(options);
+///   SF_RETURN_NOT_OK(model.Fit(table, &rng));
+///   auto parts = model.SynthesizePartitioned(n, &rng);   // stays in silos
+///   auto shared = model.Synthesize(n, &rng);             // post-gen sharing
+class SiloFuse : public Synthesizer {
+ public:
+  explicit SiloFuse(SiloFuseOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Simulation convenience: vertically partitions `data` per the options
+  /// and runs Algorithm 1 across the resulting in-process silos.
+  Status Fit(const Table& data, Rng* rng) override;
+
+  /// Cross-silo entry point: trains on pre-partitioned client feature sets
+  /// (rows must be aligned across parts — the PSI step of Section II-B).
+  /// `partition[i]` gives part i's original column indices (used only to
+  /// restore column order on reassembly).
+  Status FitPartitioned(std::vector<Table> parts,
+                        std::vector<std::vector<int>> partition, Rng* rng);
+
+  /// Algorithm 2 with post-generation sharing: clients' synthetic slices
+  /// are concatenated back into one table (the scenario whose risk Table VI
+  /// quantifies).
+  Result<Table> Synthesize(int num_rows, Rng* rng) override;
+
+  /// Algorithm 2 keeping the synthetic data vertically partitioned — the
+  /// stronger-privacy mode backed by Theorem 1.
+  Result<std::vector<Table>> SynthesizePartitioned(int num_rows, Rng* rng);
+
+  std::string name() const override { return "SiloFuse"; }
+
+  const Channel& channel() const { return channel_; }
+  Channel* mutable_channel() { return &channel_; }
+  const std::vector<std::vector<int>>& partition() const { return partition_; }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  SiloClient* client(int i) { return clients_.at(i).get(); }
+  Coordinator* coordinator() { return coordinator_.get(); }
+  const SiloFuseOptions& options() const { return options_; }
+
+  /// Total latent width s = sum_i s_i.
+  int total_latent_dim() const;
+
+  /// Persists the trained deployment (partition, client autoencoders,
+  /// coordinator backbone, sampling settings) to `path`. In a real
+  /// deployment each party would checkpoint only its own component; the
+  /// single-file form suits the in-process simulation.
+  Status SaveCheckpoint(const std::string& path);
+
+  /// Restores a synthesis-ready model from SaveCheckpoint output. The
+  /// restored clients are decode-only (no training features are stored).
+  static Result<std::unique_ptr<SiloFuse>> LoadCheckpoint(
+      const std::string& path);
+
+ private:
+  SiloFuseOptions options_;
+  std::vector<std::vector<int>> partition_;
+  std::vector<std::unique_ptr<SiloClient>> clients_;
+  std::unique_ptr<Coordinator> coordinator_;
+  Channel channel_;
+  bool fitted_ = false;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_CORE_SILOFUSE_H_

@@ -1,0 +1,28 @@
+#ifndef SILOFUSE_DATA_CSV_H_
+#define SILOFUSE_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace silofuse {
+
+/// Writes `table` as CSV with a header row. Categorical cells are written
+/// as integer codes.
+Status WriteCsv(const Table& table, const std::string& path);
+
+/// Reads a CSV with a header row using an explicit schema; the header must
+/// match the schema's column names in order.
+Result<Table> ReadCsv(const std::string& path, const Schema& schema);
+
+/// Reads a CSV and infers a schema: a column whose values are all integers
+/// with at most `max_categorical_cardinality` distinct values becomes
+/// categorical (codes remapped to a dense [0, K) range); everything else is
+/// numeric.
+Result<Table> ReadCsvInferSchema(const std::string& path,
+                                 int max_categorical_cardinality = 32);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DATA_CSV_H_

@@ -1,0 +1,219 @@
+#include "data/generators/copula_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/scalers.h"
+
+namespace silofuse {
+namespace {
+
+double ApplyTransform(NumericTransform t, double s) {
+  switch (t) {
+    case NumericTransform::kIdentity:
+      return s;
+    case NumericTransform::kExp:
+      return std::exp(0.6 * s);
+    case NumericTransform::kCube:
+      return s * s * s * 0.4 + s;
+    case NumericTransform::kAbs:
+      return std::abs(s);
+    case NumericTransform::kSigmoidal:
+      return 1.0 / (1.0 + std::exp(-1.5 * s));
+  }
+  return s;
+}
+
+/// Thresholds (standard-normal quantiles of cumulative probabilities) that
+/// realize `probs` as the marginal of a thresholded normal score.
+std::vector<double> CategoryThresholds(const std::vector<double>& probs) {
+  std::vector<double> thresholds;
+  thresholds.reserve(probs.size() - 1);
+  double cum = 0.0;
+  for (size_t k = 0; k + 1 < probs.size(); ++k) {
+    cum += probs[k];
+    const double clipped = std::min(1.0 - 1e-9, std::max(1e-9, cum));
+    thresholds.push_back(NormalQuantile(clipped));
+  }
+  return thresholds;
+}
+
+int BinByThresholds(double score, const std::vector<double>& thresholds) {
+  int k = 0;
+  while (k < static_cast<int>(thresholds.size()) && score > thresholds[k]) {
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+CopulaGenerator::CopulaGenerator(CopulaConfig config)
+    : config_(std::move(config)) {
+  SF_CHECK_GT(config_.latent_factors, 0);
+  SF_CHECK(!config_.columns.empty());
+  for (const GenColumn& col : config_.columns) {
+    SF_CHECK_EQ(static_cast<int>(col.loadings.size()), config_.latent_factors);
+    if (col.spec.is_categorical()) {
+      SF_CHECK_EQ(static_cast<int>(col.category_probs.size()),
+                  col.spec.cardinality);
+    }
+  }
+  if (config_.target_column >= 0) {
+    SF_CHECK_LT(config_.target_column,
+                static_cast<int>(config_.columns.size()));
+    SF_CHECK_EQ(config_.target_parents.size(), config_.target_weights.size());
+    SF_CHECK(!config_.target_parents.empty());
+  }
+}
+
+Schema CopulaGenerator::schema() const {
+  Schema schema;
+  for (const GenColumn& col : config_.columns) schema.AddColumn(col.spec);
+  return schema;
+}
+
+Result<Table> CopulaGenerator::Generate(int rows, Rng* rng) const {
+  SF_CHECK_GT(rows, 0);
+  const int num_cols = static_cast<int>(config_.columns.size());
+  const int k_factors = config_.latent_factors;
+
+  // Precompute categorical thresholds and per-column score scales. The
+  // latent score w.u + noise has variance ||w||^2 + sigma^2; thresholds are
+  // standard-normal quantiles, so scores are standardized before binning
+  // (otherwise the requested category marginals are not realized).
+  std::vector<std::vector<double>> thresholds(num_cols);
+  std::vector<double> score_scale(num_cols, 1.0);
+  for (int c = 0; c < num_cols; ++c) {
+    const GenColumn& col = config_.columns[c];
+    double var = col.noise * col.noise;
+    for (double w : col.loadings) var += w * w;
+    score_scale[c] = 1.0 / std::sqrt(std::max(1e-12, var));
+    if (col.spec.is_categorical()) {
+      thresholds[c] = CategoryThresholds(col.category_probs);
+    }
+  }
+
+  // Latent scores per column (needed again for the target rule).
+  std::vector<std::vector<double>> scores(num_cols,
+                                          std::vector<double>(rows, 0.0));
+  std::vector<std::vector<double>> values(num_cols,
+                                          std::vector<double>(rows, 0.0));
+  std::vector<double> factors(k_factors);
+  for (int r = 0; r < rows; ++r) {
+    for (int f = 0; f < k_factors; ++f) factors[f] = rng->Normal();
+    for (int c = 0; c < num_cols; ++c) {
+      const GenColumn& col = config_.columns[c];
+      double s = 0.0;
+      for (int f = 0; f < k_factors; ++f) s += col.loadings[f] * factors[f];
+      s += rng->Normal(0.0, col.noise);
+      s *= score_scale[c];  // standardized score
+      scores[c][r] = s;
+      if (col.spec.is_categorical()) {
+        values[c][r] = BinByThresholds(s, thresholds[c]);
+      } else {
+        values[c][r] = ApplyTransform(col.transform, s);
+      }
+    }
+  }
+
+  // Regenerate the target column from its parents so the downstream task is
+  // learnable (the plain copula draw would tie the target only through the
+  // shared factors).
+  if (config_.target_column >= 0) {
+    const int tc = config_.target_column;
+    const GenColumn& target = config_.columns[tc];
+    std::vector<double> raw(rows, 0.0);
+    for (int r = 0; r < rows; ++r) {
+      double acc = 0.0;
+      for (size_t p = 0; p < config_.target_parents.size(); ++p) {
+        const double s = scores[config_.target_parents[p]][r];
+        const double contribution = (p % 2 == 1) ? (s * s - 1.0) : s;
+        acc += config_.target_weights[p] * contribution;
+      }
+      raw[r] = acc + rng->Normal(0.0, config_.target_noise);
+    }
+    if (target.spec.is_categorical()) {
+      // Cut the raw score at its empirical quantiles so the marginal matches
+      // category_probs.
+      std::vector<double> sorted = raw;
+      std::sort(sorted.begin(), sorted.end());
+      std::vector<double> cuts;
+      double cum = 0.0;
+      for (int k = 0; k + 1 < target.spec.cardinality; ++k) {
+        cum += target.category_probs[k];
+        const int idx = std::min(
+            rows - 1, static_cast<int>(std::floor(cum * rows)));
+        cuts.push_back(sorted[idx]);
+      }
+      for (int r = 0; r < rows; ++r) {
+        values[tc][r] = BinByThresholds(raw[r], cuts);
+      }
+    } else {
+      for (int r = 0; r < rows; ++r) values[tc][r] = raw[r];
+    }
+  }
+
+  return Table::FromColumns(schema(), std::move(values));
+}
+
+CopulaConfig MakeRandomCopulaConfig(const std::vector<ColumnSpec>& columns,
+                                    int target_column, uint64_t seed,
+                                    int latent_factors) {
+  Rng rng(seed);
+  CopulaConfig config;
+  config.latent_factors = latent_factors;
+  const NumericTransform kTransforms[] = {
+      NumericTransform::kIdentity, NumericTransform::kExp,
+      NumericTransform::kCube, NumericTransform::kAbs,
+      NumericTransform::kSigmoidal};
+  int numeric_seen = 0;
+  for (const ColumnSpec& spec : columns) {
+    GenColumn col;
+    col.spec = spec;
+    col.loadings.resize(latent_factors);
+    // Sparse-ish loadings: one dominant factor plus smaller spillover, so
+    // different silos end up with correlated but not identical features.
+    const int dominant = static_cast<int>(rng.UniformInt(0, latent_factors - 1));
+    for (int f = 0; f < latent_factors; ++f) {
+      col.loadings[f] = (f == dominant) ? rng.Uniform(0.6, 1.2)
+                                        : rng.Normal(0.0, 0.15);
+      if (rng.Bernoulli(0.5)) col.loadings[f] = -col.loadings[f];
+    }
+    col.noise = rng.Uniform(0.3, 0.8);
+    if (spec.is_categorical()) {
+      // Skewed marginal: Gamma(1)-like weights normalized (Dirichlet(1)).
+      col.category_probs.resize(spec.cardinality);
+      double total = 0.0;
+      for (double& p : col.category_probs) {
+        p = -std::log(std::max(1e-12, rng.Uniform(0.0, 1.0)));
+        total += p;
+      }
+      for (double& p : col.category_probs) p /= total;
+    } else {
+      col.transform = kTransforms[numeric_seen % 5];
+      ++numeric_seen;
+    }
+    config.columns.push_back(std::move(col));
+  }
+  config.target_column = target_column;
+  if (target_column >= 0) {
+    const int num_cols = static_cast<int>(columns.size());
+    std::vector<int> candidates;
+    for (int c = 0; c < num_cols; ++c) {
+      if (c != target_column) candidates.push_back(c);
+    }
+    rng.Shuffle(&candidates);
+    const int num_parents = std::min<int>(4, static_cast<int>(candidates.size()));
+    for (int p = 0; p < num_parents; ++p) {
+      config.target_parents.push_back(candidates[p]);
+      double w = rng.Uniform(0.6, 1.4);
+      if (rng.Bernoulli(0.5)) w = -w;
+      config.target_weights.push_back(w);
+    }
+    config.target_noise = 0.35;
+  }
+  return config;
+}
+
+}  // namespace silofuse

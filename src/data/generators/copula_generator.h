@@ -1,0 +1,81 @@
+#ifndef SILOFUSE_DATA_GENERATORS_COPULA_GENERATOR_H_
+#define SILOFUSE_DATA_GENERATORS_COPULA_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace silofuse {
+
+/// Marginal shape applied to a numeric column's latent score.
+enum class NumericTransform {
+  kIdentity,   // ~ normal
+  kExp,        // log-normal-ish, right-skewed
+  kCube,       // heavy-tailed symmetric
+  kAbs,        // folded normal, non-negative
+  kSigmoidal,  // bounded, saturating
+};
+
+/// Generation recipe for one column of a synthetic dataset.
+struct GenColumn {
+  ColumnSpec spec;
+  /// Loadings onto the shared latent factors; correlation between two
+  /// columns is induced by overlapping loadings (Gaussian copula).
+  std::vector<double> loadings;
+  /// Idiosyncratic noise standard deviation added to the latent score.
+  double noise = 0.5;
+  /// Numeric columns: marginal transform. Ignored for categoricals.
+  NumericTransform transform = NumericTransform::kIdentity;
+  /// Categorical columns: marginal category probabilities (must sum to ~1
+  /// and have spec.cardinality entries). The latent score is thresholded at
+  /// the normal quantiles of the cumulative probabilities, which yields the
+  /// requested marginal while preserving copula correlation.
+  std::vector<double> category_probs;
+};
+
+/// Full recipe for a synthetic mixed-type dataset with a learnable
+/// downstream target.
+struct CopulaConfig {
+  int latent_factors = 4;
+  std::vector<GenColumn> columns;
+  /// Index of the target column (regenerated from parents), or -1 for none.
+  int target_column = -1;
+  /// Feature columns feeding the target rule.
+  std::vector<int> target_parents;
+  /// Weight per parent; parents at odd positions contribute quadratically
+  /// (score^2 - 1) so the task is not linearly separable.
+  std::vector<double> target_weights;
+  double target_noise = 0.3;
+};
+
+/// Samples correlated mixed-type tables from a Gaussian-copula latent factor
+/// model. Stands in for the paper's nine benchmark datasets (see DESIGN.md
+/// §4): it exercises the same code paths — mixed types, one-hot sparsity,
+/// cross-column correlation, learnable target — without the original files.
+class CopulaGenerator {
+ public:
+  explicit CopulaGenerator(CopulaConfig config);
+
+  /// Generates `rows` samples. Deterministic given the Rng state.
+  Result<Table> Generate(int rows, Rng* rng) const;
+
+  const CopulaConfig& config() const { return config_; }
+  Schema schema() const;
+
+ private:
+  CopulaConfig config_;
+};
+
+/// Builds a random CopulaConfig with the given column specs: random unit
+/// loadings, Dirichlet-ish category marginals, a rotating set of numeric
+/// transforms, and a target rule over ~4 parents. Deterministic in `seed`.
+CopulaConfig MakeRandomCopulaConfig(const std::vector<ColumnSpec>& columns,
+                                    int target_column, uint64_t seed,
+                                    int latent_factors = 4);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DATA_GENERATORS_COPULA_GENERATOR_H_

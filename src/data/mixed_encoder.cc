@@ -1,0 +1,230 @@
+#include "data/mixed_encoder.h"
+
+#include <cmath>
+
+#include "nn/losses.h"
+
+namespace silofuse {
+
+void MixedEncoder::BuildLayout() {
+  const int cols = schema_.num_columns();
+  spans_.clear();
+  spans_.reserve(cols);
+  int offset = 0;
+  for (int c = 0; c < cols; ++c) {
+    const ColumnSpec& spec = schema_.column(c);
+    FeatureSpan span;
+    span.column = c;
+    span.offset = offset;
+    span.categorical = spec.is_categorical();
+    span.width = spec.is_categorical() ? spec.cardinality : 1;
+    offset += span.width;
+    spans_.push_back(span);
+  }
+  encoded_width_ = offset;
+}
+
+Status MixedEncoder::Fit(const Table& table) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot fit MixedEncoder on empty table");
+  }
+  schema_ = table.schema();
+  const int cols = schema_.num_columns();
+  standard_.assign(cols, StandardScaler());
+  minmax_.assign(cols, MinMaxScaler());
+  quantile_.assign(cols, QuantileNormalTransformer());
+  BuildLayout();
+  for (int c = 0; c < cols; ++c) {
+    if (schema_.column(c).is_categorical()) continue;
+    switch (scaling_) {
+      case NumericScaling::kStandard:
+        standard_[c].Fit(table.column_values(c));
+        break;
+      case NumericScaling::kMinMax:
+        minmax_[c].Fit(table.column_values(c));
+        break;
+      case NumericScaling::kQuantileNormal:
+        quantile_[c].Fit(table.column_values(c));
+        break;
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+void MixedEncoder::Save(BinaryWriter* writer) const {
+  writer->WriteString("mixed_encoder");
+  writer->WriteI32(static_cast<int32_t>(scaling_));
+  writer->WriteBool(fitted_);
+  schema_.Save(writer);
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    if (schema_.column(c).is_categorical()) continue;
+    switch (scaling_) {
+      case NumericScaling::kStandard:
+        standard_[c].Save(writer);
+        break;
+      case NumericScaling::kMinMax:
+        minmax_[c].Save(writer);
+        break;
+      case NumericScaling::kQuantileNormal:
+        quantile_[c].Save(writer);
+        break;
+    }
+  }
+}
+
+Status MixedEncoder::Load(BinaryReader* reader) {
+  SF_RETURN_NOT_OK(reader->ExpectTag("mixed_encoder"));
+  SF_ASSIGN_OR_RETURN(int32_t scaling, reader->ReadI32());
+  if (scaling < 0 || scaling > 2) {
+    return Status::IOError("corrupt scaling mode in archive");
+  }
+  scaling_ = static_cast<NumericScaling>(scaling);
+  SF_ASSIGN_OR_RETURN(fitted_, reader->ReadBool());
+  SF_ASSIGN_OR_RETURN(schema_, Schema::Load(reader));
+  const int cols = schema_.num_columns();
+  standard_.assign(cols, StandardScaler());
+  minmax_.assign(cols, MinMaxScaler());
+  quantile_.assign(cols, QuantileNormalTransformer());
+  BuildLayout();
+  for (int c = 0; c < cols; ++c) {
+    if (schema_.column(c).is_categorical()) continue;
+    switch (scaling_) {
+      case NumericScaling::kStandard:
+        SF_RETURN_NOT_OK(standard_[c].Load(reader));
+        break;
+      case NumericScaling::kMinMax:
+        SF_RETURN_NOT_OK(minmax_[c].Load(reader));
+        break;
+      case NumericScaling::kQuantileNormal:
+        SF_RETURN_NOT_OK(quantile_[c].Load(reader));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+double MixedEncoder::TransformNumeric(int col, double v) const {
+  switch (scaling_) {
+    case NumericScaling::kStandard:
+      return standard_[col].Transform(v);
+    case NumericScaling::kMinMax:
+      return minmax_[col].Transform(v);
+    case NumericScaling::kQuantileNormal:
+      return quantile_[col].Transform(v);
+  }
+  return v;
+}
+
+double MixedEncoder::InverseNumeric(int col, double v) const {
+  switch (scaling_) {
+    case NumericScaling::kStandard:
+      return standard_[col].Inverse(v);
+    case NumericScaling::kMinMax:
+      return minmax_[col].Inverse(v);
+    case NumericScaling::kQuantileNormal:
+      return quantile_[col].Inverse(v);
+  }
+  return v;
+}
+
+Matrix MixedEncoder::Encode(const Table& table) const {
+  SF_CHECK(fitted_);
+  SF_CHECK(table.schema() == schema_) << "encode schema mismatch";
+  Matrix out(table.num_rows(), encoded_width_);
+  for (const FeatureSpan& span : spans_) {
+    const int c = span.column;
+    if (span.categorical) {
+      for (int r = 0; r < table.num_rows(); ++r) {
+        out.at(r, span.offset + table.code(r, c)) = 1.0f;
+      }
+    } else {
+      for (int r = 0; r < table.num_rows(); ++r) {
+        out.at(r, span.offset) =
+            static_cast<float>(TransformNumeric(c, table.value(r, c)));
+      }
+    }
+  }
+  return out;
+}
+
+Table MixedEncoder::Decode(const Matrix& features) const {
+  SF_CHECK(fitted_);
+  SF_CHECK_EQ(features.cols(), encoded_width_);
+  Matrix raw(features.rows(), schema_.num_columns());
+  for (const FeatureSpan& span : spans_) {
+    for (int r = 0; r < features.rows(); ++r) {
+      if (span.categorical) {
+        const float* row = features.row_data(r) + span.offset;
+        int best = 0;
+        for (int k = 1; k < span.width; ++k) {
+          if (row[k] > row[best]) best = k;
+        }
+        raw.at(r, span.column) = static_cast<float>(best);
+      } else {
+        raw.at(r, span.column) = static_cast<float>(
+            InverseNumeric(span.column, features.at(r, span.offset)));
+      }
+    }
+  }
+  return Table::FromMatrix(schema_, raw);
+}
+
+Table MixedEncoder::DecodeSampled(const Matrix& features, Rng* rng) const {
+  SF_CHECK(fitted_);
+  SF_CHECK(rng != nullptr);
+  SF_CHECK_EQ(features.cols(), encoded_width_);
+  Matrix raw(features.rows(), schema_.num_columns());
+  std::vector<double> probs;
+  for (const FeatureSpan& span : spans_) {
+    for (int r = 0; r < features.rows(); ++r) {
+      if (span.categorical) {
+        const float* row = features.row_data(r) + span.offset;
+        probs.assign(span.width, 0.0);
+        float max_v = row[0];
+        for (int k = 1; k < span.width; ++k) max_v = std::max(max_v, row[k]);
+        for (int k = 0; k < span.width; ++k) {
+          probs[k] = std::exp(static_cast<double>(row[k]) - max_v);
+        }
+        raw.at(r, span.column) = static_cast<float>(rng->Categorical(probs));
+      } else {
+        raw.at(r, span.column) = static_cast<float>(
+            InverseNumeric(span.column, features.at(r, span.offset)));
+      }
+    }
+  }
+  return Table::FromMatrix(schema_, raw);
+}
+
+Table MixedEncoder::DecodeProbabilities(const Matrix& features,
+                                        Rng* rng) const {
+  SF_CHECK(fitted_);
+  SF_CHECK(rng != nullptr);
+  SF_CHECK_EQ(features.cols(), encoded_width_);
+  Matrix raw(features.rows(), schema_.num_columns());
+  std::vector<double> probs;
+  for (const FeatureSpan& span : spans_) {
+    for (int r = 0; r < features.rows(); ++r) {
+      if (span.categorical) {
+        const float* row = features.row_data(r) + span.offset;
+        probs.assign(span.width, 0.0);
+        double total = 0.0;
+        for (int k = 0; k < span.width; ++k) {
+          probs[k] = std::max(0.0, static_cast<double>(row[k]));
+          total += probs[k];
+        }
+        if (total <= 0.0) {
+          // Degenerate generator output: fall back to uniform.
+          std::fill(probs.begin(), probs.end(), 1.0);
+        }
+        raw.at(r, span.column) = static_cast<float>(rng->Categorical(probs));
+      } else {
+        raw.at(r, span.column) = static_cast<float>(
+            InverseNumeric(span.column, features.at(r, span.offset)));
+      }
+    }
+  }
+  return Table::FromMatrix(schema_, raw);
+}
+
+}  // namespace silofuse

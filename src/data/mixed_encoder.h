@@ -1,0 +1,86 @@
+#ifndef SILOFUSE_DATA_MIXED_ENCODER_H_
+#define SILOFUSE_DATA_MIXED_ENCODER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/scalers.h"
+#include "data/table.h"
+#include "tensor/matrix.h"
+
+namespace silofuse {
+
+/// How numeric columns are scaled inside the encoded feature space.
+enum class NumericScaling {
+  kStandard,        // z-score (autoencoder inputs)
+  kMinMax,          // [-1, 1] (tanh-output GAN generators)
+  kQuantileNormal,  // Gaussian quantile transform (TabDDPM preprocessing)
+};
+
+/// Where each original column lives in the encoded feature matrix.
+struct FeatureSpan {
+  int column = 0;    // index in the source schema
+  int offset = 0;    // first encoded feature index
+  int width = 0;     // 1 for numeric, cardinality for categorical
+  bool categorical = false;
+};
+
+/// Converts mixed tabular data to and from a dense float feature matrix:
+/// numeric columns are scaled, categorical columns are one-hot encoded.
+/// This realizes the "numerical embeddings, employing one-hot encoding for
+/// categorical features" preprocessing step of Algorithm 1 and the encoding
+/// TabDDPM/GANs train on directly.
+class MixedEncoder {
+ public:
+  explicit MixedEncoder(NumericScaling scaling = NumericScaling::kStandard)
+      : scaling_(scaling) {}
+
+  /// Learns per-column scalers and the one-hot layout from `table`.
+  Status Fit(const Table& table);
+
+  /// Encodes rows into an n x encoded_width() matrix. Requires Fit.
+  Matrix Encode(const Table& table) const;
+
+  /// Inverse: numeric features unscaled, categorical spans decoded by argmax.
+  Table Decode(const Matrix& features) const;
+
+  /// Like Decode but samples categorical codes from the softmax of the span
+  /// (used when decoding stochastic generator output).
+  Table DecodeSampled(const Matrix& features, Rng* rng) const;
+
+  /// Like DecodeSampled but treats categorical spans as (already
+  /// normalized) probability vectors rather than logits — the output format
+  /// of a softmax-headed GAN generator. Negative entries are clipped to 0.
+  Table DecodeProbabilities(const Matrix& features, Rng* rng) const;
+
+  /// Checkpoint support: serializes the scaling mode, schema and fitted
+  /// per-column scaler state; Load restores a ready-to-use encoder.
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+  bool fitted() const { return fitted_; }
+  int encoded_width() const { return encoded_width_; }
+  const std::vector<FeatureSpan>& spans() const { return spans_; }
+  const Schema& schema() const { return schema_; }
+  NumericScaling scaling() const { return scaling_; }
+
+ private:
+  double TransformNumeric(int col, double v) const;
+  double InverseNumeric(int col, double v) const;
+  /// Recomputes spans_/encoded_width_ from schema_.
+  void BuildLayout();
+
+  NumericScaling scaling_;
+  bool fitted_ = false;
+  Schema schema_;
+  int encoded_width_ = 0;
+  std::vector<FeatureSpan> spans_;
+  std::vector<StandardScaler> standard_;           // indexed by column
+  std::vector<MinMaxScaler> minmax_;               // indexed by column
+  std::vector<QuantileNormalTransformer> quantile_;  // indexed by column
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DATA_MIXED_ENCODER_H_

@@ -1,0 +1,172 @@
+#include "data/scalers.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace silofuse {
+
+void StandardScaler::Fit(const std::vector<double>& values) {
+  SF_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  mean_ = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) {
+    const double d = v - mean_;
+    var += d * d;
+  }
+  var /= static_cast<double>(values.size());
+  std_ = std::sqrt(var);
+  inv_std_ = std_ > 1e-12 ? 1.0 / std_ : 0.0;
+  if (std_ <= 1e-12) std_ = 0.0;
+  fitted_ = true;
+}
+
+void MinMaxScaler::Fit(const std::vector<double>& values) {
+  SF_CHECK(!values.empty());
+  min_ = *std::min_element(values.begin(), values.end());
+  max_ = *std::max_element(values.begin(), values.end());
+  fitted_ = true;
+}
+
+double MinMaxScaler::Transform(double v) const {
+  SF_CHECK(fitted_);
+  if (max_ - min_ < 1e-12) return 0.0;
+  return 2.0 * (v - min_) / (max_ - min_) - 1.0;
+}
+
+double MinMaxScaler::Inverse(double v) const {
+  SF_CHECK(fitted_);
+  const double clamped = std::max(-1.0, std::min(1.0, v));
+  return min_ + (clamped + 1.0) * 0.5 * (max_ - min_);
+}
+
+void QuantileNormalTransformer::Fit(const std::vector<double>& values,
+                                    int max_quantiles) {
+  SF_CHECK(!values.empty());
+  SF_CHECK_GE(max_quantiles, 2);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const int n = static_cast<int>(sorted.size());
+  const int k = std::min(max_quantiles, n);
+  quantiles_.resize(k);
+  for (int i = 0; i < k; ++i) {
+    const double pos = (k == 1) ? 0.0
+                                : static_cast<double>(i) * (n - 1) / (k - 1);
+    const int lo = static_cast<int>(std::floor(pos));
+    const int hi = std::min(lo + 1, n - 1);
+    const double frac = pos - lo;
+    quantiles_[i] = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+}
+
+double QuantileNormalTransformer::Transform(double v) const {
+  SF_CHECK(fitted());
+  const int k = static_cast<int>(quantiles_.size());
+  // Empirical CDF via the anchor grid (linear interpolation inside bins).
+  auto it = std::lower_bound(quantiles_.begin(), quantiles_.end(), v);
+  double p;
+  if (it == quantiles_.begin()) {
+    p = 0.0;
+  } else if (it == quantiles_.end()) {
+    p = 1.0;
+  } else {
+    const int hi = static_cast<int>(it - quantiles_.begin());
+    const int lo = hi - 1;
+    const double span = quantiles_[hi] - quantiles_[lo];
+    const double frac = span > 1e-300 ? (v - quantiles_[lo]) / span : 0.0;
+    p = (lo + frac) / (k - 1);
+  }
+  // Clip away from {0,1} so the probit stays finite.
+  const double eps = 1e-6;
+  p = std::max(eps, std::min(1.0 - eps, p));
+  return NormalQuantile(p);
+}
+
+double QuantileNormalTransformer::Inverse(double z) const {
+  SF_CHECK(fitted());
+  const int k = static_cast<int>(quantiles_.size());
+  double p = NormalCdf(z);
+  p = std::max(0.0, std::min(1.0, p));
+  const double pos = p * (k - 1);
+  const int lo = std::min(k - 1, static_cast<int>(std::floor(pos)));
+  const int hi = std::min(k - 1, lo + 1);
+  const double frac = pos - lo;
+  return quantiles_[lo] * (1.0 - frac) + quantiles_[hi] * frac;
+}
+
+void StandardScaler::Save(BinaryWriter* writer) const {
+  writer->WriteBool(fitted_);
+  writer->WriteF64(mean_);
+  writer->WriteF64(std_);
+  writer->WriteF64(inv_std_);
+}
+
+Status StandardScaler::Load(BinaryReader* reader) {
+  SF_ASSIGN_OR_RETURN(fitted_, reader->ReadBool());
+  SF_ASSIGN_OR_RETURN(mean_, reader->ReadF64());
+  SF_ASSIGN_OR_RETURN(std_, reader->ReadF64());
+  SF_ASSIGN_OR_RETURN(inv_std_, reader->ReadF64());
+  return Status::OK();
+}
+
+void MinMaxScaler::Save(BinaryWriter* writer) const {
+  writer->WriteBool(fitted_);
+  writer->WriteF64(min_);
+  writer->WriteF64(max_);
+}
+
+Status MinMaxScaler::Load(BinaryReader* reader) {
+  SF_ASSIGN_OR_RETURN(fitted_, reader->ReadBool());
+  SF_ASSIGN_OR_RETURN(min_, reader->ReadF64());
+  SF_ASSIGN_OR_RETURN(max_, reader->ReadF64());
+  return Status::OK();
+}
+
+void QuantileNormalTransformer::Save(BinaryWriter* writer) const {
+  writer->WriteDoubleVector(quantiles_);
+}
+
+Status QuantileNormalTransformer::Load(BinaryReader* reader) {
+  SF_ASSIGN_OR_RETURN(quantiles_, reader->ReadDoubleVector());
+  return Status::OK();
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalQuantile(double p) {
+  SF_CHECK(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  return x;
+}
+
+}  // namespace silofuse

@@ -1,0 +1,92 @@
+#ifndef SILOFUSE_DATA_SCALERS_H_
+#define SILOFUSE_DATA_SCALERS_H_
+
+#include <vector>
+
+#include "common/archive.h"
+#include "common/check.h"
+
+namespace silofuse {
+
+/// Per-column z-score scaler: (x - mean) / std.
+class StandardScaler {
+ public:
+  /// Fits mean/std on `values`. Degenerate columns (std == 0) scale to 0.
+  void Fit(const std::vector<double>& values);
+
+  double Transform(double v) const {
+    SF_CHECK(fitted_);
+    return (v - mean_) * inv_std_;
+  }
+  double Inverse(double v) const {
+    SF_CHECK(fitted_);
+    return v * std_ + mean_;
+  }
+
+  double mean() const { return mean_; }
+  double std_dev() const { return std_; }
+  bool fitted() const { return fitted_; }
+
+  /// Checkpoint support.
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  bool fitted_ = false;
+  double mean_ = 0.0;
+  double std_ = 1.0;
+  double inv_std_ = 1.0;
+};
+
+/// Per-column min-max scaler into [-1, 1] (the range tanh-output GANs need).
+class MinMaxScaler {
+ public:
+  void Fit(const std::vector<double>& values);
+
+  double Transform(double v) const;
+  double Inverse(double v) const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Checkpoint support.
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  bool fitted_ = false;
+  double min_ = 0.0;
+  double max_ = 1.0;
+};
+
+/// Maps a column to an approximately standard normal distribution through
+/// its empirical CDF (the quantile transformer TabDDPM applies to numeric
+/// features). Inverse interpolates the stored quantiles.
+class QuantileNormalTransformer {
+ public:
+  /// Fits on `values`; keeps at most `max_quantiles` sorted anchors.
+  void Fit(const std::vector<double>& values, int max_quantiles = 1000);
+
+  double Transform(double v) const;
+  double Inverse(double z) const;
+
+  bool fitted() const { return !quantiles_.empty(); }
+
+  /// Checkpoint support.
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  std::vector<double> quantiles_;  // sorted anchor values
+};
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+/// Standard normal quantile function (probit), Acklam's approximation,
+/// accurate to ~1e-9 over (0, 1).
+double NormalQuantile(double p);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DATA_SCALERS_H_

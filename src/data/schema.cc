@@ -1,0 +1,101 @@
+#include "data/schema.h"
+
+#include <unordered_set>
+
+namespace silofuse {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kNumeric:
+      return "numeric";
+    case ColumnType::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+Result<int> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+std::vector<int> Schema::CategoricalIndices() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].is_categorical()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> Schema::NumericIndices() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!columns_[i].is_categorical()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int Schema::OneHotWidth() const {
+  int width = 0;
+  for (const ColumnSpec& c : columns_) {
+    width += c.is_categorical() ? c.cardinality : 1;
+  }
+  return width;
+}
+
+Schema Schema::Select(const std::vector<int>& indices) const {
+  std::vector<ColumnSpec> cols;
+  cols.reserve(indices.size());
+  for (int i : indices) cols.push_back(columns_.at(i));
+  return Schema(std::move(cols));
+}
+
+Status Schema::Validate() const {
+  std::unordered_set<std::string> names;
+  for (const ColumnSpec& c : columns_) {
+    if (c.name.empty()) {
+      return Status::InvalidArgument("schema has a column with empty name");
+    }
+    if (!names.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate column name '" + c.name + "'");
+    }
+    if (c.is_categorical() && c.cardinality < 2) {
+      return Status::InvalidArgument("categorical column '" + c.name +
+                                     "' needs cardinality >= 2");
+    }
+  }
+  return Status::OK();
+}
+
+void Schema::Save(BinaryWriter* writer) const {
+  writer->WriteString("schema");
+  writer->WriteU64(columns_.size());
+  for (const ColumnSpec& c : columns_) {
+    writer->WriteString(c.name);
+    writer->WriteBool(c.is_categorical());
+    writer->WriteI32(c.cardinality);
+  }
+}
+
+Result<Schema> Schema::Load(BinaryReader* reader) {
+  SF_RETURN_NOT_OK(reader->ExpectTag("schema"));
+  SF_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  if (count > kMaxArchiveVectorLength) {
+    return Status::IOError("corrupt schema column count");
+  }
+  Schema schema;
+  for (uint64_t i = 0; i < count; ++i) {
+    SF_ASSIGN_OR_RETURN(std::string name, reader->ReadString());
+    SF_ASSIGN_OR_RETURN(bool categorical, reader->ReadBool());
+    SF_ASSIGN_OR_RETURN(int32_t cardinality, reader->ReadI32());
+    schema.AddColumn(categorical
+                         ? ColumnSpec::Categorical(std::move(name), cardinality)
+                         : ColumnSpec::Numeric(std::move(name)));
+  }
+  SF_RETURN_NOT_OK(schema.Validate());
+  return schema;
+}
+
+}  // namespace silofuse

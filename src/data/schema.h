@@ -1,0 +1,91 @@
+#ifndef SILOFUSE_DATA_SCHEMA_H_
+#define SILOFUSE_DATA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/archive.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace silofuse {
+
+/// Kind of a tabular column. Categorical values are stored as integer codes
+/// in [0, cardinality).
+enum class ColumnType { kNumeric, kCategorical };
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// Description of one column.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kNumeric;
+  /// Number of distinct categories; meaningful only for kCategorical.
+  int cardinality = 0;
+
+  static ColumnSpec Numeric(std::string name) {
+    return {std::move(name), ColumnType::kNumeric, 0};
+  }
+  static ColumnSpec Categorical(std::string name, int cardinality) {
+    return {std::move(name), ColumnType::kCategorical, cardinality};
+  }
+
+  bool is_categorical() const { return type == ColumnType::kCategorical; }
+
+  bool operator==(const ColumnSpec& other) const {
+    return name == other.name && type == other.type &&
+           cardinality == other.cardinality;
+  }
+};
+
+/// Ordered collection of column specs; the logical header of a Table.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnSpec& column(int i) const { return columns_.at(i); }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  void AddColumn(ColumnSpec spec) { columns_.push_back(std::move(spec)); }
+
+  /// Index of the column named `name`, or error if absent.
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  /// Indices of categorical / numeric columns, in schema order.
+  std::vector<int> CategoricalIndices() const;
+  std::vector<int> NumericIndices() const;
+
+  int num_categorical() const {
+    return static_cast<int>(CategoricalIndices().size());
+  }
+  int num_numeric() const { return static_cast<int>(NumericIndices().size()); }
+
+  /// Total feature width after one-hot encoding categoricals
+  /// (numerics contribute 1 each). This is the "#Aft" column of Table II.
+  int OneHotWidth() const;
+
+  /// Sub-schema with the given column indices, in the given order.
+  Schema Select(const std::vector<int>& indices) const;
+
+  /// Validates names are unique/non-empty and cardinalities >= 2 for
+  /// categorical columns.
+  Status Validate() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  /// Checkpoint support.
+  void Save(BinaryWriter* writer) const;
+  static Result<Schema> Load(BinaryReader* reader);
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DATA_SCHEMA_H_

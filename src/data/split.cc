@@ -1,0 +1,32 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+namespace silofuse {
+
+TrainTestSplit SplitTrainTest(const Table& table, double test_fraction,
+                              Rng* rng) {
+  SF_CHECK(test_fraction >= 0.0 && test_fraction < 1.0);
+  const int n = table.num_rows();
+  std::vector<int> perm = rng->Permutation(n);
+  int test_count = static_cast<int>(std::lround(test_fraction * n));
+  if (test_fraction > 0.0 && test_count == 0 && n > 1) test_count = 1;
+  test_count = std::min(test_count, n - 1);
+  std::vector<int> test_idx(perm.begin(), perm.begin() + test_count);
+  std::vector<int> train_idx(perm.begin() + test_count, perm.end());
+  TrainTestSplit split;
+  split.test = table.GatherRows(test_idx);
+  split.train = table.GatherRows(train_idx);
+  return split;
+}
+
+std::vector<int> SampleBatchIndices(int num_rows, int batch_size, Rng* rng) {
+  SF_CHECK_GT(num_rows, 0);
+  std::vector<int> indices(batch_size);
+  for (int i = 0; i < batch_size; ++i) {
+    indices[i] = static_cast<int>(rng->UniformInt(0, num_rows - 1));
+  }
+  return indices;
+}
+
+}  // namespace silofuse

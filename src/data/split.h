@@ -1,0 +1,26 @@
+#ifndef SILOFUSE_DATA_SPLIT_H_
+#define SILOFUSE_DATA_SPLIT_H_
+
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace silofuse {
+
+/// A shuffled train/test partition of a table's rows.
+struct TrainTestSplit {
+  Table train;
+  Table test;
+};
+
+/// Splits `table` into train/test with `test_fraction` of rows (rounded,
+/// at least 1 when possible) held out, after shuffling with `rng`.
+TrainTestSplit SplitTrainTest(const Table& table, double test_fraction,
+                              Rng* rng);
+
+/// Draws `batch_size` random row indices (with replacement) — the minibatch
+/// sampler shared by all trainers.
+std::vector<int> SampleBatchIndices(int num_rows, int batch_size, Rng* rng);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DATA_SPLIT_H_

@@ -1,0 +1,92 @@
+#ifndef SILOFUSE_DATA_TABLE_H_
+#define SILOFUSE_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/schema.h"
+#include "tensor/matrix.h"
+
+namespace silofuse {
+
+/// Column-major in-memory table of mixed numeric/categorical data.
+///
+/// Values are stored as double; categorical cells hold integer codes in
+/// [0, cardinality). This is the interchange type between dataset
+/// generators, encoders, models, metrics and privacy attacks.
+class Table {
+ public:
+  Table() = default;
+
+  /// Empty table (0 rows) with the given schema.
+  explicit Table(Schema schema);
+
+  /// Table from a schema and column-major values; every column must have
+  /// the same length and categorical codes must be in range.
+  static Result<Table> FromColumns(Schema schema,
+                                   std::vector<std::vector<double>> columns);
+
+  const Schema& schema() const { return schema_; }
+  int num_rows() const { return num_rows_; }
+  int num_columns() const { return schema_.num_columns(); }
+
+  double value(int row, int col) const {
+    return columns_.at(col).at(row);
+  }
+  void set_value(int row, int col, double v) { columns_.at(col).at(row) = v; }
+
+  /// Categorical code at (row, col); checks the column is categorical.
+  int code(int row, int col) const;
+
+  const std::vector<double>& column_values(int col) const {
+    return columns_.at(col);
+  }
+
+  /// Appends one row; `values.size()` must match the column count and
+  /// categorical codes must be valid.
+  Status AppendRow(const std::vector<double>& values);
+
+  /// Rows [start, start+count).
+  Table SliceRows(int start, int count) const;
+
+  /// Rows selected by index (duplicates allowed).
+  Table GatherRows(const std::vector<int>& indices) const;
+
+  /// Vertical-partition helper: a new table with the chosen columns.
+  Table SelectColumns(const std::vector<int>& indices) const;
+
+  /// Column-wise concatenation; all parts must share the row count.
+  /// This is the `X = X1 || X2 || ... || XM` operator of the paper.
+  static Result<Table> ConcatColumns(const std::vector<Table>& parts);
+
+  /// Row-wise concatenation; all parts must share the schema.
+  static Result<Table> ConcatRows(const std::vector<Table>& parts);
+
+  /// Raw values as a Matrix (categoricals as their codes).
+  Matrix ToMatrix() const;
+
+  /// Builds a table from a raw value matrix: numeric columns copied,
+  /// categorical entries rounded and clamped into [0, cardinality).
+  static Table FromMatrix(const Schema& schema, const Matrix& values);
+
+  /// Random row subsample of size `count` without replacement.
+  Table Sample(int count, Rng* rng) const;
+
+  /// Checks all categorical codes are within range.
+  Status Validate() const;
+
+  /// Human-readable preview of the first `max_rows` rows.
+  std::string Preview(int max_rows = 5) const;
+
+ private:
+  Schema schema_;
+  int num_rows_ = 0;
+  std::vector<std::vector<double>> columns_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DATA_TABLE_H_

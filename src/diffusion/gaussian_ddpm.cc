@@ -1,0 +1,225 @@
+#include "diffusion/gaussian_ddpm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "diffusion/time_embedding.h"
+#include "tensor/matrix_io.h"
+#include "nn/activations.h"
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "nn/losses.h"
+
+namespace silofuse {
+namespace {
+
+// x0 estimates are clamped during sampling so an occasional bad prediction at
+// high noise levels cannot blow up the trajectory.
+constexpr float kX0Clamp = 10.0f;
+
+}  // namespace
+
+GaussianDdpm::GaussianDdpm(const GaussianDdpmConfig& config, Rng* rng)
+    : config_(config), schedule_(config.num_timesteps, config.schedule) {
+  SF_CHECK_GT(config.data_dim, 0);
+  SF_CHECK_GE(config.num_layers, 2);
+  const int in_dim = config.data_dim + config.time_embed_dim;
+  // Body: input projection, residual GELU blocks, output projection. The
+  // hidden blocks are residual so the net trains at small step budgets; the
+  // separate `skip_` path (z_t -> prediction) lets the model represent the
+  // near-identity eps ~ x_t solution at high noise levels immediately.
+  backbone_.Emplace<Linear>(in_dim, config.hidden_dim, rng);
+  backbone_.Emplace<Gelu>();
+  if (config.dropout > 0.0f) backbone_.Emplace<Dropout>(config.dropout, rng);
+  for (int l = 0; l < config.num_layers - 2; ++l) {
+    auto block = std::make_unique<Sequential>();
+    block->Emplace<Linear>(config.hidden_dim, config.hidden_dim, rng);
+    block->Emplace<Gelu>();
+    if (config.dropout > 0.0f) block->Emplace<Dropout>(config.dropout, rng);
+    backbone_.Emplace<Residual>(std::move(block));
+  }
+  backbone_.Emplace<Linear>(config.hidden_dim, config.data_dim, rng);
+  skip_ = std::make_unique<Linear>(config.data_dim, config.data_dim, rng);
+  std::vector<Parameter*> params = backbone_.Parameters();
+  for (Parameter* p : skip_->Parameters()) params.push_back(p);
+  optimizer_ = std::make_unique<Adam>(std::move(params), config.lr);
+}
+
+Matrix GaussianDdpm::ForwardProcess(const Matrix& z0, const std::vector<int>& t,
+                                    const Matrix& eps) const {
+  SF_CHECK_EQ(z0.rows(), static_cast<int>(t.size()));
+  SF_CHECK(z0.rows() == eps.rows() && z0.cols() == eps.cols());
+  Matrix out(z0.rows(), z0.cols());
+  for (int r = 0; r < z0.rows(); ++r) {
+    const double s0 = schedule_.sqrt_alpha_bar(t[r]);
+    const double s1 = schedule_.sqrt_one_minus_alpha_bar(t[r]);
+    const float* z = z0.row_data(r);
+    const float* e = eps.row_data(r);
+    float* o = out.row_data(r);
+    for (int c = 0; c < z0.cols(); ++c) {
+      o[c] = static_cast<float>(s0 * z[c] + s1 * e[c]);
+    }
+  }
+  return out;
+}
+
+Matrix GaussianDdpm::ForwardBackbone(const Matrix& z_t,
+                                     const std::vector<int>& t, bool training) {
+  SF_CHECK_EQ(z_t.cols(), config_.data_dim);
+  SF_CHECK_EQ(z_t.rows(), static_cast<int>(t.size()));
+  Matrix t_emb = SinusoidalTimeEmbedding(t, config_.time_embed_dim);
+  Matrix input = Matrix::ConcatCols({z_t, t_emb});
+  Matrix out = backbone_.Forward(input, training);
+  out.AddInPlace(skip_->Forward(z_t, training));
+  return out;
+}
+
+Matrix GaussianDdpm::BackwardBackbone(const Matrix& grad_prediction) {
+  Matrix grad_input = backbone_.Backward(grad_prediction);
+  Matrix grad_zt = grad_input.SliceCols(0, config_.data_dim);
+  grad_zt.AddInPlace(skip_->Backward(grad_prediction));
+  return grad_zt;
+}
+
+Matrix GaussianDdpm::PredictionToX0(const Matrix& prediction,
+                                    const Matrix& z_t,
+                                    const std::vector<int>& t) const {
+  if (config_.predict == DiffusionPrediction::kX0) return prediction;
+  Matrix x0(z_t.rows(), z_t.cols());
+  for (int r = 0; r < z_t.rows(); ++r) {
+    const double s0 = schedule_.sqrt_alpha_bar(t[r]);
+    const double s1 = schedule_.sqrt_one_minus_alpha_bar(t[r]);
+    const float* z = z_t.row_data(r);
+    const float* e = prediction.row_data(r);
+    float* x = x0.row_data(r);
+    for (int c = 0; c < z_t.cols(); ++c) {
+      x[c] = static_cast<float>((z[c] - s1 * e[c]) / s0);
+    }
+  }
+  return x0;
+}
+
+void GaussianDdpm::Save(BinaryWriter* writer) {
+  writer->WriteString("gaussian_ddpm");
+  writer->WriteI32(config_.data_dim);
+  writer->WriteI32(config_.num_timesteps);
+  writer->WriteI32(static_cast<int32_t>(config_.schedule));
+  writer->WriteI32(static_cast<int32_t>(config_.predict));
+  writer->WriteI32(config_.time_embed_dim);
+  writer->WriteI32(config_.hidden_dim);
+  writer->WriteI32(config_.num_layers);
+  writer->WriteF32(config_.dropout);
+  writer->WriteF32(config_.lr);
+  writer->WriteF32(config_.grad_clip);
+  const std::vector<Parameter*> params = Parameters();
+  writer->WriteU64(params.size());
+  for (Parameter* p : params) SaveMatrix(writer, p->value);
+}
+
+Result<std::unique_ptr<GaussianDdpm>> GaussianDdpm::LoadFrom(
+    BinaryReader* reader) {
+  SF_RETURN_NOT_OK(reader->ExpectTag("gaussian_ddpm"));
+  GaussianDdpmConfig config;
+  SF_ASSIGN_OR_RETURN(config.data_dim, reader->ReadI32());
+  SF_ASSIGN_OR_RETURN(config.num_timesteps, reader->ReadI32());
+  SF_ASSIGN_OR_RETURN(int32_t schedule, reader->ReadI32());
+  SF_ASSIGN_OR_RETURN(int32_t predict, reader->ReadI32());
+  SF_ASSIGN_OR_RETURN(config.time_embed_dim, reader->ReadI32());
+  SF_ASSIGN_OR_RETURN(config.hidden_dim, reader->ReadI32());
+  SF_ASSIGN_OR_RETURN(config.num_layers, reader->ReadI32());
+  SF_ASSIGN_OR_RETURN(config.dropout, reader->ReadF32());
+  SF_ASSIGN_OR_RETURN(config.lr, reader->ReadF32());
+  SF_ASSIGN_OR_RETURN(config.grad_clip, reader->ReadF32());
+  if (config.data_dim <= 0 || config.num_timesteps <= 0 || schedule < 0 ||
+      schedule > 1 || predict < 0 || predict > 1) {
+    return Status::IOError("corrupt diffusion config in archive");
+  }
+  config.schedule = static_cast<ScheduleType>(schedule);
+  config.predict = static_cast<DiffusionPrediction>(predict);
+  Rng init_rng(0);  // weights are overwritten below
+  auto ddpm = std::make_unique<GaussianDdpm>(config, &init_rng);
+  std::vector<Parameter*> params = ddpm->Parameters();
+  SF_ASSIGN_OR_RETURN(uint64_t count, reader->ReadU64());
+  if (count != params.size()) {
+    return Status::IOError("diffusion parameter count mismatch in archive");
+  }
+  for (Parameter* p : params) {
+    SF_ASSIGN_OR_RETURN(Matrix value, LoadMatrix(reader));
+    if (value.rows() != p->value.rows() || value.cols() != p->value.cols()) {
+      return Status::IOError("diffusion parameter shape mismatch");
+    }
+    p->value = std::move(value);
+  }
+  return ddpm;
+}
+
+double GaussianDdpm::TrainStep(const Matrix& z0, Rng* rng) {
+  const int batch = z0.rows();
+  SF_CHECK_GT(batch, 0);
+  std::vector<int> t(batch);
+  for (int r = 0; r < batch; ++r) {
+    t[r] = static_cast<int>(rng->UniformInt(1, schedule_.num_timesteps()));
+  }
+  Matrix eps = Matrix::RandomNormal(batch, z0.cols(), rng);
+  Matrix z_t = ForwardProcess(z0, t, eps);
+  Matrix prediction = ForwardBackbone(z_t, t, /*training=*/true);
+  const Matrix& target =
+      config_.predict == DiffusionPrediction::kEpsilon ? eps : z0;
+  Matrix grad;
+  const double loss = MseLoss(prediction, target, &grad);
+  optimizer_->ZeroGrad();
+  BackwardBackbone(grad);
+  optimizer_->ClipGradNorm(config_.grad_clip);
+  optimizer_->Step();
+  return loss;
+}
+
+Matrix GaussianDdpm::Sample(int n, int steps, Rng* rng, double eta) {
+  SF_CHECK_GT(n, 0);
+  Matrix x = Matrix::RandomNormal(n, config_.data_dim, rng);
+  const std::vector<int> taus = schedule_.InferenceTimesteps(steps);
+  std::vector<int> t_batch(n);
+  for (size_t i = 0; i < taus.size(); ++i) {
+    const int t = taus[i];
+    const int t_prev = (i + 1 < taus.size()) ? taus[i + 1] : 0;
+    std::fill(t_batch.begin(), t_batch.end(), t);
+    Matrix prediction = ForwardBackbone(x, t_batch, /*training=*/false);
+    Matrix x0 = PredictionToX0(prediction, x, t_batch);
+    x0 = x0.Apply([](float v) {
+      return std::max(-kX0Clamp, std::min(kX0Clamp, v));
+    });
+    if (t_prev == 0) {
+      x = std::move(x0);
+      break;
+    }
+    const double abar_t = schedule_.alpha_bar(t);
+    const double abar_prev = schedule_.alpha_bar(t_prev);
+    // Generalized (DDIM) update: eta in [0,1] interpolates deterministic to
+    // ancestral sampling.
+    const double sigma =
+        eta * std::sqrt((1.0 - abar_prev) / (1.0 - abar_t) *
+                        (1.0 - abar_t / abar_prev));
+    const double coef_x0 = std::sqrt(abar_prev);
+    const double dir_coef =
+        std::sqrt(std::max(0.0, 1.0 - abar_prev - sigma * sigma));
+    const double s0 = std::sqrt(abar_t);
+    const double s1 = std::sqrt(1.0 - abar_t);
+    Matrix next(n, config_.data_dim);
+    for (int r = 0; r < n; ++r) {
+      const float* xr = x.row_data(r);
+      const float* x0r = x0.row_data(r);
+      float* nr = next.row_data(r);
+      for (int c = 0; c < config_.data_dim; ++c) {
+        // Recovered eps from the (clamped) x0 estimate.
+        const double eps_hat = (xr[c] - s0 * x0r[c]) / s1;
+        double v = coef_x0 * x0r[c] + dir_coef * eps_hat;
+        if (sigma > 0.0) v += sigma * rng->Normal();
+        nr[c] = static_cast<float>(v);
+      }
+    }
+    x = std::move(next);
+  }
+  return x;
+}
+
+}  // namespace silofuse

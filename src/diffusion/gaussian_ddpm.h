@@ -1,0 +1,100 @@
+#ifndef SILOFUSE_DIFFUSION_GAUSSIAN_DDPM_H_
+#define SILOFUSE_DIFFUSION_GAUSSIAN_DDPM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/archive.h"
+#include "common/rng.h"
+#include "diffusion/schedule.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "tensor/matrix.h"
+
+namespace silofuse {
+
+/// What the denoiser network predicts.
+enum class DiffusionPrediction {
+  kEpsilon,  // the added base noise (Ho et al., Eq. 2)
+  kX0,       // the clean sample directly (the Eq. 5 view of the paper)
+};
+
+/// Hyperparameters of the Gaussian DDPM backbone G.
+struct GaussianDdpmConfig {
+  int data_dim = 0;
+  int num_timesteps = 200;  // paper: "a maximum of 200 timesteps"
+  ScheduleType schedule = ScheduleType::kLinear;
+  DiffusionPrediction predict = DiffusionPrediction::kEpsilon;
+  int time_embed_dim = 32;
+  int hidden_dim = 128;
+  int num_layers = 8;  // paper: "bilinear model comprising eight layers"
+  float dropout = 0.01f;
+  float lr = 1e-3f;
+  float grad_clip = 5.0f;
+};
+
+/// Denoising diffusion probabilistic model over continuous feature vectors.
+///
+/// This is the generative backbone G of SiloFuse/LatentDiff: an MLP with
+/// GELU activations and sinusoidal timestep conditioning, trained with the
+/// MSE objective (Eq. 2 / Eq. 5) and sampled with strided ancestral
+/// (DDIM-eta) steps ("training 200 timesteps, inference over 25 steps").
+class GaussianDdpm {
+ public:
+  GaussianDdpm(const GaussianDdpmConfig& config, Rng* rng);
+
+  /// One minibatch update on clean vectors `z0`; returns the loss.
+  double TrainStep(const Matrix& z0, Rng* rng);
+
+  /// Generates `n` samples with `steps` inference timesteps.
+  /// eta=1 reproduces ancestral DDPM sampling; eta=0 is deterministic DDIM.
+  Matrix Sample(int n, int steps, Rng* rng, double eta = 1.0);
+
+  /// Forward (noising) process of Eq. (1): F(z0, t, eps). `t` is per-row.
+  Matrix ForwardProcess(const Matrix& z0, const std::vector<int>& t,
+                        const Matrix& eps) const;
+
+  /// Runs the backbone on noisy inputs at per-row timesteps; returns the
+  /// raw prediction (eps or x0 per config). Exposed for the end-to-end
+  /// baselines, which backprop through the backbone.
+  Matrix ForwardBackbone(const Matrix& z_t, const std::vector<int>& t,
+                         bool training);
+
+  /// Backprop through the last ForwardBackbone; returns dLoss/dZ_t
+  /// (timestep-embedding gradient is dropped).
+  Matrix BackwardBackbone(const Matrix& grad_prediction);
+
+  /// Converts a backbone prediction into an x0 estimate at timestep t.
+  Matrix PredictionToX0(const Matrix& prediction, const Matrix& z_t,
+                        const std::vector<int>& t) const;
+
+  std::vector<Parameter*> Parameters() {
+    std::vector<Parameter*> params = backbone_.Parameters();
+    for (Parameter* p : skip_->Parameters()) params.push_back(p);
+    return params;
+  }
+  /// Checkpoint support: serializes the config and all weights; LoadFrom
+  /// reconstructs a ready-to-sample model.
+  void Save(BinaryWriter* writer);
+  static Result<std::unique_ptr<GaussianDdpm>> LoadFrom(BinaryReader* reader);
+
+  Optimizer* optimizer() { return optimizer_.get(); }
+  const GaussianDdpmConfig& config() const { return config_; }
+  const VarianceSchedule& schedule() const { return schedule_; }
+  int64_t parameter_count() {
+    return backbone_.ParameterCount() + skip_->ParameterCount();
+  }
+
+ private:
+  GaussianDdpmConfig config_;
+  VarianceSchedule schedule_;
+  Sequential backbone_;
+  std::unique_ptr<Linear> skip_;  // direct z_t -> prediction path
+  std::unique_ptr<Adam> optimizer_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DIFFUSION_GAUSSIAN_DDPM_H_

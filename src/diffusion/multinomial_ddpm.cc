@@ -1,0 +1,146 @@
+#include "diffusion/multinomial_ddpm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/losses.h"
+
+namespace silofuse {
+namespace {
+
+constexpr double kTiny = 1e-12;
+
+}  // namespace
+
+MultinomialDiffusion::MultinomialDiffusion(const VarianceSchedule* schedule,
+                                           int categories)
+    : schedule_(schedule), categories_(categories) {
+  SF_CHECK(schedule != nullptr);
+  SF_CHECK_GE(categories, 2);
+}
+
+Matrix MultinomialDiffusion::QXtGivenX0(const Matrix& x0,
+                                        const std::vector<int>& t) const {
+  SF_CHECK_EQ(x0.cols(), categories_);
+  SF_CHECK_EQ(x0.rows(), static_cast<int>(t.size()));
+  Matrix probs(x0.rows(), categories_);
+  for (int r = 0; r < x0.rows(); ++r) {
+    const double abar = schedule_->alpha_bar(t[r]);
+    const double uniform = (1.0 - abar) / categories_;
+    const float* x = x0.row_data(r);
+    float* p = probs.row_data(r);
+    for (int k = 0; k < categories_; ++k) {
+      p[k] = static_cast<float>(abar * x[k] + uniform);
+    }
+  }
+  return probs;
+}
+
+Matrix MultinomialDiffusion::SampleOneHot(const Matrix& probs,
+                                          Rng* rng) const {
+  SF_CHECK_EQ(probs.cols(), categories_);
+  Matrix out(probs.rows(), categories_);
+  std::vector<double> row(categories_);
+  for (int r = 0; r < probs.rows(); ++r) {
+    const float* p = probs.row_data(r);
+    for (int k = 0; k < categories_; ++k) {
+      row[k] = std::max(0.0, static_cast<double>(p[k]));
+    }
+    out.at(r, rng->Categorical(row)) = 1.0f;
+  }
+  return out;
+}
+
+Matrix MultinomialDiffusion::Posterior(const Matrix& x_t,
+                                       const Matrix& x0_dist,
+                                       const std::vector<int>& t) const {
+  SF_CHECK_EQ(x_t.cols(), categories_);
+  SF_CHECK_EQ(x0_dist.cols(), categories_);
+  SF_CHECK_EQ(x_t.rows(), x0_dist.rows());
+  SF_CHECK_EQ(x_t.rows(), static_cast<int>(t.size()));
+  Matrix out(x_t.rows(), categories_);
+  for (int r = 0; r < x_t.rows(); ++r) {
+    const int tr = t[r];
+    const double alpha = schedule_->alpha(tr);
+    const double abar_prev = schedule_->alpha_bar(tr - 1);
+    const double u_t = (1.0 - alpha) / categories_;
+    const double u_prev = (1.0 - abar_prev) / categories_;
+    const float* xt = x_t.row_data(r);
+    const float* x0 = x0_dist.row_data(r);
+    float* o = out.row_data(r);
+    double total = 0.0;
+    for (int k = 0; k < categories_; ++k) {
+      const double m = alpha * xt[k] + u_t;
+      const double u = abar_prev * x0[k] + u_prev;
+      const double w = m * u;
+      o[k] = static_cast<float>(w);
+      total += w;
+    }
+    const float inv = static_cast<float>(1.0 / std::max(kTiny, total));
+    for (int k = 0; k < categories_; ++k) o[k] *= inv;
+  }
+  return out;
+}
+
+double MultinomialDiffusion::KlLoss(const Matrix& logits,
+                                    const Matrix& x0_onehot, const Matrix& x_t,
+                                    const std::vector<int>& t,
+                                    Matrix* grad_logits) const {
+  const int n = logits.rows();
+  SF_CHECK_EQ(logits.cols(), categories_);
+  SF_CHECK(x0_onehot.rows() == n && x_t.rows() == n);
+  SF_CHECK_EQ(static_cast<int>(t.size()), n);
+  if (grad_logits->rows() != n || grad_logits->cols() != categories_) {
+    *grad_logits = Matrix(n, categories_);
+  }
+  Matrix s = SoftmaxRows(logits);
+  double total_loss = 0.0;
+  std::vector<double> m(categories_), q(categories_), p(categories_),
+      dl_ds(categories_);
+  for (int r = 0; r < n; ++r) {
+    const int tr = t[r];
+    const double alpha = schedule_->alpha(tr);
+    const double abar_prev = schedule_->alpha_bar(tr - 1);
+    const double u_t = (1.0 - alpha) / categories_;
+    const double u_prev = (1.0 - abar_prev) / categories_;
+    const float* xt = x_t.row_data(r);
+    const float* x0 = x0_onehot.row_data(r);
+    const float* sr = s.row_data(r);
+    // True posterior q and predicted posterior p.
+    double q_total = 0.0;
+    double p_total = 0.0;
+    for (int k = 0; k < categories_; ++k) {
+      m[k] = alpha * xt[k] + u_t;
+      q[k] = m[k] * (abar_prev * x0[k] + u_prev);
+      p[k] = m[k] * (abar_prev * sr[k] + u_prev);
+      q_total += q[k];
+      p_total += p[k];
+    }
+    double loss = 0.0;
+    for (int k = 0; k < categories_; ++k) {
+      q[k] /= std::max(kTiny, q_total);
+      p[k] /= std::max(kTiny, p_total);
+      if (q[k] > kTiny) {
+        loss += q[k] * (std::log(q[k]) - std::log(std::max(kTiny, p[k])));
+      }
+    }
+    total_loss += loss;
+    // dL/dw_k = (1 - q_k/p_k) / W; dL/du_k = m_k dL/dw_k;
+    // dL/ds_k = abar_prev * dL/du_k; then the softmax Jacobian.
+    double dot = 0.0;
+    for (int k = 0; k < categories_; ++k) {
+      const double dl_dw =
+          (1.0 - q[k] / std::max(kTiny, p[k])) / std::max(kTiny, p_total);
+      dl_ds[k] = abar_prev * m[k] * dl_dw;
+      dot += dl_ds[k] * sr[k];
+    }
+    float* g = grad_logits->row_data(r);
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (int k = 0; k < categories_; ++k) {
+      g[k] = static_cast<float>(sr[k] * (dl_ds[k] - dot)) * inv_n;
+    }
+  }
+  return total_loss / n;
+}
+
+}  // namespace silofuse

@@ -1,0 +1,52 @@
+#ifndef SILOFUSE_DIFFUSION_MULTINOMIAL_DDPM_H_
+#define SILOFUSE_DIFFUSION_MULTINOMIAL_DDPM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "diffusion/schedule.h"
+#include "tensor/matrix.h"
+
+namespace silofuse {
+
+/// Multinomial diffusion over one categorical feature with K categories
+/// (Hoogeboom et al.), as used by TabDDPM's discrete branch.
+///
+/// The forward kernel either keeps the previous category or resamples
+/// uniformly: q(x_t | x_{t-1}) = Cat((1 - beta_t) x_{t-1} + beta_t / K).
+/// All matrices are (n x K): one-hot samples or probability rows.
+class MultinomialDiffusion {
+ public:
+  /// `schedule` must outlive this object.
+  MultinomialDiffusion(const VarianceSchedule* schedule, int categories);
+
+  int categories() const { return categories_; }
+
+  /// Marginal q(x_t | x_0) = Cat(abar_t x_0 + (1 - abar_t)/K) for one-hot
+  /// rows x0 and per-row timesteps.
+  Matrix QXtGivenX0(const Matrix& x0, const std::vector<int>& t) const;
+
+  /// Samples a one-hot row from each probability row.
+  Matrix SampleOneHot(const Matrix& probs, Rng* rng) const;
+
+  /// Posterior q(x_{t-1} | x_t, x0_dist) with a (possibly soft) x0
+  /// distribution, normalized per row. x_t rows are one-hot.
+  Matrix Posterior(const Matrix& x_t, const Matrix& x0_dist,
+                   const std::vector<int>& t) const;
+
+  /// KL(q(x_{t-1}|x_t, x0_true) || p(x_{t-1}|x_t, softmax(logits))) averaged
+  /// over rows — the multinomial loss M^t of Eq. (3). Accumulates
+  /// dLoss/dLogits into *grad_logits (same shape, pre-zeroed by caller or
+  /// fresh). At t=1 this reduces to -log p(x_0 | x_1) as in Hoogeboom et al.
+  double KlLoss(const Matrix& logits, const Matrix& x0_onehot,
+                const Matrix& x_t, const std::vector<int>& t,
+                Matrix* grad_logits) const;
+
+ private:
+  const VarianceSchedule* schedule_;  // not owned
+  int categories_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DIFFUSION_MULTINOMIAL_DDPM_H_

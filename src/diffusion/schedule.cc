@@ -1,0 +1,75 @@
+#include "diffusion/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace silofuse {
+
+VarianceSchedule::VarianceSchedule(int num_timesteps, ScheduleType type)
+    : num_timesteps_(num_timesteps) {
+  SF_CHECK_GT(num_timesteps, 0);
+  betas_.resize(num_timesteps);
+  if (type == ScheduleType::kLinear) {
+    // Ho et al. use [1e-4, 0.02] for T=1000; rescale the endpoints by
+    // 1000/T so shorter schedules reach a comparable terminal alpha_bar.
+    const double scale = 1000.0 / num_timesteps;
+    const double beta_start = scale * 1e-4;
+    const double beta_end = std::min(0.999, scale * 0.02);
+    for (int i = 0; i < num_timesteps; ++i) {
+      const double frac =
+          num_timesteps == 1 ? 0.0 : static_cast<double>(i) / (num_timesteps - 1);
+      betas_[i] = beta_start + frac * (beta_end - beta_start);
+    }
+  } else {
+    // Cosine schedule: alpha_bar(t) = cos^2((t/T + s)/(1 + s) * pi/2).
+    const double s = 0.008;
+    auto abar = [&](double t) {
+      const double v = std::cos((t / num_timesteps + s) / (1.0 + s) * M_PI / 2.0);
+      return v * v;
+    };
+    const double abar0 = abar(0.0);
+    double prev = 1.0;
+    for (int i = 0; i < num_timesteps; ++i) {
+      const double cur = abar(i + 1.0) / abar0;
+      betas_[i] = std::min(0.999, 1.0 - cur / prev);
+      prev = cur;
+    }
+  }
+
+  alphas_.resize(num_timesteps);
+  alpha_bars_.resize(num_timesteps + 1);
+  posterior_var_.resize(num_timesteps);
+  sqrt_alpha_bars_.resize(num_timesteps);
+  sqrt_one_minus_alpha_bars_.resize(num_timesteps);
+  alpha_bars_[0] = 1.0;
+  for (int i = 0; i < num_timesteps; ++i) {
+    alphas_[i] = 1.0 - betas_[i];
+    alpha_bars_[i + 1] = alpha_bars_[i] * alphas_[i];
+    sqrt_alpha_bars_[i] = std::sqrt(alpha_bars_[i + 1]);
+    sqrt_one_minus_alpha_bars_[i] = std::sqrt(1.0 - alpha_bars_[i + 1]);
+    // beta_tilde = beta_t * (1 - abar_{t-1}) / (1 - abar_t).
+    posterior_var_[i] =
+        betas_[i] * (1.0 - alpha_bars_[i]) / (1.0 - alpha_bars_[i + 1]);
+  }
+}
+
+std::vector<int> VarianceSchedule::InferenceTimesteps(int steps) const {
+  SF_CHECK_GT(steps, 0);
+  steps = std::min(steps, num_timesteps_);
+  std::vector<int> ts(steps);
+  if (steps == 1) {
+    ts[0] = num_timesteps_;
+    return ts;
+  }
+  // Descending from T to 1, evenly spaced.
+  for (int i = 0; i < steps; ++i) {
+    const double frac = static_cast<double>(i) / (steps - 1);
+    ts[i] = static_cast<int>(
+        std::lround(num_timesteps_ - frac * (num_timesteps_ - 1)));
+  }
+  // Deduplicate while keeping descending order.
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  return ts;
+}
+
+}  // namespace silofuse

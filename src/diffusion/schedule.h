@@ -1,0 +1,62 @@
+#ifndef SILOFUSE_DIFFUSION_SCHEDULE_H_
+#define SILOFUSE_DIFFUSION_SCHEDULE_H_
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace silofuse {
+
+/// Family of beta schedules.
+enum class ScheduleType {
+  kLinear,  // Ho et al.: linearly spaced betas (rescaled by 1000/T)
+  kCosine,  // Nichol & Dhariwal cosine alpha-bar schedule
+};
+
+/// Precomputed diffusion constants: betas, alphas, cumulative products and
+/// posterior variances, indexed by timestep t in [1, T] (index 0 unused so
+/// formulas read like the paper's).
+class VarianceSchedule {
+ public:
+  VarianceSchedule(int num_timesteps, ScheduleType type = ScheduleType::kLinear);
+
+  int num_timesteps() const { return num_timesteps_; }
+
+  double beta(int t) const { return At(betas_, t); }
+  double alpha(int t) const { return At(alphas_, t); }
+  /// alpha_bar(t) = prod_{j<=t} alpha(j); alpha_bar(0) == 1 by convention.
+  double alpha_bar(int t) const {
+    SF_CHECK(t >= 0 && t <= num_timesteps_);
+    return alpha_bars_[t];
+  }
+  /// Posterior variance of q(x_{t-1} | x_t, x_0).
+  double posterior_variance(int t) const { return At(posterior_var_, t); }
+
+  /// sqrt helpers used in the forward process F(X0, t, eps) of Eq. (1).
+  double sqrt_alpha_bar(int t) const { return At(sqrt_alpha_bars_, t); }
+  double sqrt_one_minus_alpha_bar(int t) const {
+    return At(sqrt_one_minus_alpha_bars_, t);
+  }
+
+  /// Evenly strided inference subsequence of length `steps` ending at 1 and
+  /// starting at T — the "inference conducted over 25 steps" of Section V-A.
+  std::vector<int> InferenceTimesteps(int steps) const;
+
+ private:
+  double At(const std::vector<double>& v, int t) const {
+    SF_CHECK(t >= 1 && t <= num_timesteps_);
+    return v[t - 1];
+  }
+
+  int num_timesteps_;
+  std::vector<double> betas_;       // [T]
+  std::vector<double> alphas_;      // [T]
+  std::vector<double> alpha_bars_;  // [T+1], alpha_bars_[0] = 1
+  std::vector<double> posterior_var_;
+  std::vector<double> sqrt_alpha_bars_;
+  std::vector<double> sqrt_one_minus_alpha_bars_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DIFFUSION_SCHEDULE_H_

@@ -1,0 +1,26 @@
+#include "diffusion/time_embedding.h"
+
+#include <cmath>
+
+namespace silofuse {
+
+Matrix SinusoidalTimeEmbedding(const std::vector<int>& timesteps, int dim,
+                               int max_period) {
+  SF_CHECK_GT(dim, 0);
+  SF_CHECK_EQ(dim % 2, 0);
+  const int half = dim / 2;
+  Matrix out(static_cast<int>(timesteps.size()), dim);
+  for (size_t r = 0; r < timesteps.size(); ++r) {
+    float* row = out.row_data(static_cast<int>(r));
+    const double t = timesteps[r];
+    for (int i = 0; i < half; ++i) {
+      const double freq =
+          std::exp(-std::log(static_cast<double>(max_period)) * i / half);
+      row[i] = static_cast<float>(std::sin(t * freq));
+      row[half + i] = static_cast<float>(std::cos(t * freq));
+    }
+  }
+  return out;
+}
+
+}  // namespace silofuse

@@ -1,0 +1,18 @@
+#ifndef SILOFUSE_DIFFUSION_TIME_EMBEDDING_H_
+#define SILOFUSE_DIFFUSION_TIME_EMBEDDING_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace silofuse {
+
+/// Sinusoidal timestep embedding (Transformer/DDPM style): for each
+/// timestep t, pairs of sin/cos at geometrically spaced frequencies.
+/// Returns a (timesteps.size() x dim) matrix; dim must be even.
+Matrix SinusoidalTimeEmbedding(const std::vector<int>& timesteps, int dim,
+                               int max_period = 10000);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DIFFUSION_TIME_EMBEDDING_H_

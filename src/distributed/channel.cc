@@ -1,0 +1,53 @@
+#include "distributed/channel.h"
+
+#include <sstream>
+
+namespace silofuse {
+
+namespace {
+// Shape, sender/receiver ids, tag id, sequence number.
+constexpr int64_t kHeaderBytes = 32;
+}  // namespace
+
+int64_t MatrixWireBytes(const Matrix& m) {
+  return kHeaderBytes +
+         static_cast<int64_t>(m.size()) * static_cast<int64_t>(sizeof(float));
+}
+
+int64_t Channel::SendMatrix(const std::string& from, const std::string& to,
+                            const Matrix& payload, const std::string& tag) {
+  const int64_t bytes = MatrixWireBytes(payload);
+  Send(from, to, bytes, tag);
+  return bytes;
+}
+
+void Channel::Send(const std::string& from, const std::string& to,
+                   int64_t bytes, const std::string& tag) {
+  log_.push_back({from, to, tag, bytes});
+  bytes_by_tag_[tag] += bytes;
+  total_bytes_ += bytes;
+}
+
+int64_t Channel::bytes_with_tag(const std::string& tag) const {
+  auto it = bytes_by_tag_.find(tag);
+  return it == bytes_by_tag_.end() ? 0 : it->second;
+}
+
+void Channel::Reset() {
+  log_.clear();
+  bytes_by_tag_.clear();
+  total_bytes_ = 0;
+  rounds_ = 0;
+}
+
+std::string Channel::Summary() const {
+  std::ostringstream out;
+  out << "Channel: " << total_bytes_ << " bytes in " << log_.size()
+      << " messages over " << rounds_ << " rounds\n";
+  for (const auto& [tag, bytes] : bytes_by_tag_) {
+    out << "  " << tag << ": " << bytes << " bytes\n";
+  }
+  return out.str();
+}
+
+}  // namespace silofuse

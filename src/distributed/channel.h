@@ -1,0 +1,64 @@
+#ifndef SILOFUSE_DISTRIBUTED_CHANNEL_H_
+#define SILOFUSE_DISTRIBUTED_CHANNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace silofuse {
+
+/// One recorded transfer between parties.
+struct ChannelMessage {
+  std::string from;
+  std::string to;
+  std::string tag;
+  int64_t bytes = 0;
+};
+
+/// Serialized size of a float32 matrix payload plus a small fixed header
+/// (shape + ids), matching what a real wire format would ship.
+int64_t MatrixWireBytes(const Matrix& m);
+
+/// In-process stand-in for the cross-silo network. Every transfer between a
+/// client and the coordinator is recorded so the communication experiments
+/// (Fig. 10) can compare stacked vs end-to-end training byte-for-byte.
+class Channel {
+ public:
+  Channel() = default;
+
+  /// Records a matrix transfer and returns its byte size.
+  int64_t SendMatrix(const std::string& from, const std::string& to,
+                     const Matrix& payload, const std::string& tag);
+
+  /// Records an arbitrary payload.
+  void Send(const std::string& from, const std::string& to, int64_t bytes,
+            const std::string& tag);
+
+  /// Marks the start of a communication round (a synchronized exchange
+  /// between all clients and the coordinator).
+  void BeginRound() { ++rounds_; }
+
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t message_count() const { return static_cast<int64_t>(log_.size()); }
+  int64_t rounds() const { return rounds_; }
+  int64_t bytes_with_tag(const std::string& tag) const;
+  const std::vector<ChannelMessage>& log() const { return log_; }
+
+  void Reset();
+
+  /// Multi-line human-readable summary (per-tag byte totals).
+  std::string Summary() const;
+
+ private:
+  std::vector<ChannelMessage> log_;
+  std::map<std::string, int64_t> bytes_by_tag_;
+  int64_t total_bytes_ = 0;
+  int64_t rounds_ = 0;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DISTRIBUTED_CHANNEL_H_

@@ -1,0 +1,39 @@
+#include "distributed/client.h"
+
+namespace silofuse {
+
+Result<std::unique_ptr<SiloClient>> SiloClient::Create(
+    int id, Table features, const AutoencoderConfig& config, Rng* rng) {
+  if (features.num_columns() == 0) {
+    return Status::InvalidArgument("client needs at least one feature column");
+  }
+  auto client =
+      std::unique_ptr<SiloClient>(new SiloClient(id, std::move(features)));
+  SF_ASSIGN_OR_RETURN(
+      client->autoencoder_,
+      TabularAutoencoder::Create(client->features_, config, rng));
+  return client;
+}
+
+std::unique_ptr<SiloClient> SiloClient::FromAutoencoder(
+    int id, std::unique_ptr<TabularAutoencoder> autoencoder) {
+  SF_CHECK(autoencoder != nullptr);
+  auto client = std::unique_ptr<SiloClient>(
+      new SiloClient(id, Table(autoencoder->schema())));
+  client->autoencoder_ = std::move(autoencoder);
+  return client;
+}
+
+double SiloClient::TrainAutoencoder(int steps, int batch_size, Rng* rng) {
+  return autoencoder_->Train(features_, steps, batch_size, rng);
+}
+
+Matrix SiloClient::ComputeLatents() const {
+  return autoencoder_->EncodeTable(features_);
+}
+
+Table SiloClient::Decode(const Matrix& latents, Rng* rng, bool sample) {
+  return autoencoder_->DecodeToTable(latents, rng, sample);
+}
+
+}  // namespace silofuse

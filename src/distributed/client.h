@@ -1,0 +1,55 @@
+#ifndef SILOFUSE_DISTRIBUTED_CLIENT_H_
+#define SILOFUSE_DISTRIBUTED_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "models/autoencoder.h"
+
+namespace silofuse {
+
+/// A data silo C_i: owns a vertical slice of the feature-partitioned table
+/// and a private autoencoder (E_i, D_i). Raw features and the decoder never
+/// leave this object — the only outbound artifact is the latent matrix Z_i.
+class SiloClient {
+ public:
+  /// Creates the client and initializes its autoencoder on `features`.
+  static Result<std::unique_ptr<SiloClient>> Create(
+      int id, Table features, const AutoencoderConfig& config, Rng* rng);
+
+  /// Restores a decode-only client from a checkpointed autoencoder. The
+  /// client holds no training features; ComputeLatents/TrainAutoencoder
+  /// must not be called on it.
+  static std::unique_ptr<SiloClient> FromAutoencoder(
+      int id, std::unique_ptr<TabularAutoencoder> autoencoder);
+
+  /// Local autoencoder training (lines 1-7 of Algorithm 1).
+  double TrainAutoencoder(int steps, int batch_size, Rng* rng);
+
+  /// Z_i = E_i(X_i) over the full local feature set (line 9).
+  Matrix ComputeLatents() const;
+
+  /// X~_i = D_i(Z~_i): local decoding of (synthetic) latents (Algorithm 2).
+  Table Decode(const Matrix& latents, Rng* rng, bool sample = true);
+
+  int id() const { return id_; }
+  std::string party_name() const { return "client_" + std::to_string(id_); }
+  int latent_dim() const { return autoencoder_->latent_dim(); }
+  int num_features() const { return features_.num_columns(); }
+  int num_rows() const { return features_.num_rows(); }
+  const Table& features() const { return features_; }
+  const Schema& schema() const { return features_.schema(); }
+  TabularAutoencoder* autoencoder() { return autoencoder_.get(); }
+
+ private:
+  SiloClient(int id, Table features) : id_(id), features_(std::move(features)) {}
+
+  int id_;
+  Table features_;
+  std::unique_ptr<TabularAutoencoder> autoencoder_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DISTRIBUTED_CLIENT_H_

@@ -1,0 +1,54 @@
+#include "distributed/coordinator.h"
+
+#include "data/split.h"
+
+namespace silofuse {
+
+Status Coordinator::TrainOnLatents(const Matrix& latents, int steps,
+                                   int batch_size, Rng* rng) {
+  if (latents.rows() < 2) {
+    return Status::InvalidArgument("coordinator needs at least 2 latent rows");
+  }
+  standardizer_.Fit(latents);
+  Matrix z0 = standardizer_.Transform(latents);
+  GaussianDdpmConfig config = config_;
+  config.data_dim = z0.cols();
+  ddpm_ = std::make_unique<GaussianDdpm>(config, rng);
+  for (int s = 0; s < steps; ++s) {
+    const std::vector<int> idx =
+        SampleBatchIndices(z0.rows(), std::min(batch_size, z0.rows()), rng);
+    ddpm_->TrainStep(z0.GatherRows(idx), rng);
+  }
+  return Status::OK();
+}
+
+Result<Matrix> Coordinator::SampleLatents(int num_rows, int inference_steps,
+                                          double eta, Rng* rng) {
+  if (!trained()) {
+    return Status::FailedPrecondition("coordinator has not been trained");
+  }
+  Matrix z = ddpm_->Sample(num_rows, inference_steps, rng, eta);
+  return standardizer_.Inverse(z);
+}
+
+Status Coordinator::Save(BinaryWriter* writer) {
+  if (!trained()) {
+    return Status::FailedPrecondition("cannot save an untrained coordinator");
+  }
+  writer->WriteString("coordinator");
+  ddpm_->Save(writer);
+  standardizer_.Save(writer);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Coordinator>> Coordinator::LoadFrom(
+    BinaryReader* reader) {
+  SF_RETURN_NOT_OK(reader->ExpectTag("coordinator"));
+  SF_ASSIGN_OR_RETURN(auto ddpm, GaussianDdpm::LoadFrom(reader));
+  auto coordinator = std::make_unique<Coordinator>(ddpm->config());
+  coordinator->ddpm_ = std::move(ddpm);
+  SF_RETURN_NOT_OK(coordinator->standardizer_.Load(reader));
+  return coordinator;
+}
+
+}  // namespace silofuse

@@ -1,0 +1,48 @@
+#ifndef SILOFUSE_DISTRIBUTED_COORDINATOR_H_
+#define SILOFUSE_DISTRIBUTED_COORDINATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "diffusion/gaussian_ddpm.h"
+#include "models/synthesizer.h"
+
+namespace silofuse {
+
+/// The coordinator/server holding the generative diffusion backbone G.
+/// It only ever sees latent matrices — by Theorem 1 it cannot reconstruct
+/// client features from them without the (private) decoders.
+class Coordinator {
+ public:
+  explicit Coordinator(const GaussianDdpmConfig& config) : config_(config) {}
+
+  std::string party_name() const { return "coordinator"; }
+
+  /// Trains G on the concatenated latents Z = Z_1 || ... || Z_M
+  /// (lines 10-15 of Algorithm 1). Latents are standardized internally.
+  Status TrainOnLatents(const Matrix& latents, int steps, int batch_size,
+                        Rng* rng);
+
+  /// Samples `num_rows` synthetic latents with `inference_steps` denoising
+  /// steps (Algorithm 2, lines 3-4), de-standardized to the client scale.
+  Result<Matrix> SampleLatents(int num_rows, int inference_steps, double eta,
+                               Rng* rng);
+
+  GaussianDdpm* ddpm() { return ddpm_.get(); }
+  bool trained() const { return ddpm_ != nullptr; }
+
+  /// Checkpoint support; only a trained coordinator can be saved.
+  Status Save(BinaryWriter* writer);
+  static Result<std::unique_ptr<Coordinator>> LoadFrom(BinaryReader* reader);
+
+ private:
+  GaussianDdpmConfig config_;
+  std::unique_ptr<GaussianDdpm> ddpm_;
+  LatentStandardizer standardizer_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DISTRIBUTED_COORDINATOR_H_

@@ -1,0 +1,176 @@
+#include "distributed/e2e_distributed.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "data/split.h"
+#include "nn/losses.h"
+
+namespace silofuse {
+
+Status E2EDistrSynthesizer::Fit(const Table& data, Rng* rng) {
+  if (data.num_rows() < 2) {
+    return Status::InvalidArgument("E2EDistr needs at least 2 rows");
+  }
+  channel_.Reset();
+  SF_ASSIGN_OR_RETURN(partition_,
+                      PartitionColumns(data.num_columns(), partition_config_));
+  clients_.clear();
+  client_inputs_.clear();
+
+  const int num_clients = static_cast<int>(partition_.size());
+  AutoencoderConfig client_config = config_.autoencoder;
+  client_config.hidden_dim =
+      std::max(16, client_config.hidden_dim / num_clients);
+
+  int total_latent = 0;
+  for (int i = 0; i < num_clients; ++i) {
+    Rng client_rng = rng->Fork();
+    SF_ASSIGN_OR_RETURN(
+        auto client,
+        SiloClient::Create(i, data.SelectColumns(partition_[i]), client_config,
+                           &client_rng));
+    client_inputs_.push_back(
+        client->autoencoder()->mixed_encoder().Encode(client->features()));
+    total_latent += client->latent_dim();
+    clients_.push_back(std::move(client));
+  }
+
+  GaussianDdpmConfig ddpm_config = config_.diffusion;
+  ddpm_config.data_dim = total_latent;
+  ddpm_config.predict = DiffusionPrediction::kX0;  // decoder consumes x0-hat
+  backbone_ = std::make_unique<GaussianDdpm>(ddpm_config, rng);
+
+  std::vector<Parameter*> params;
+  for (auto& client : clients_) {
+    for (Parameter* p : client->autoencoder()->Parameters()) {
+      params.push_back(p);
+    }
+  }
+  for (Parameter* p : backbone_->Parameters()) params.push_back(p);
+  joint_optimizer_ =
+      std::make_unique<Adam>(std::move(params), config_.autoencoder.lr);
+
+  const int steps = config_.autoencoder_steps + config_.diffusion_train_steps;
+  double recon = 0.0, diff = 0.0;
+  const int64_t bytes_before_first = channel_.total_bytes();
+  for (int s = 0; s < steps; ++s) {
+    const std::vector<int> rows = SampleBatchIndices(
+        data.num_rows(), std::min(config_.batch_size, data.num_rows()), rng);
+    auto [r, d] = TrainIteration(rows, rng);
+    recon = 0.95 * recon + 0.05 * r;
+    diff = 0.95 * diff + 0.05 * d;
+    if (s == 0) bytes_per_round_ = channel_.total_bytes() - bytes_before_first;
+  }
+  SF_LOG(Debug) << "E2EDistr losses: recon " << recon << " diffusion " << diff;
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::pair<double, double> E2EDistrSynthesizer::TrainIteration(
+    const std::vector<int>& batch_rows, Rng* rng) {
+  SF_CHECK(backbone_ != nullptr);
+  const int batch = static_cast<int>(batch_rows.size());
+  channel_.BeginRound();
+
+  // Forward 1/2: clients encode and ship activations (latents).
+  std::vector<Matrix> z_parts;
+  z_parts.reserve(clients_.size());
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    Matrix x_i = client_inputs_[i].GatherRows(batch_rows);
+    Matrix z_i = clients_[i]->autoencoder()->EncoderForward(x_i, true);
+    channel_.SendMatrix(clients_[i]->party_name(), "coordinator", z_i,
+                        "forward_activations");
+    z_parts.push_back(std::move(z_i));
+  }
+  Matrix z = Matrix::ConcatCols(z_parts);
+
+  // Forward 2/2: coordinator noises, denoises, ships denoised slices back.
+  std::vector<int> t(batch);
+  for (int r = 0; r < batch; ++r) {
+    t[r] = static_cast<int>(
+        rng->UniformInt(1, backbone_->schedule().num_timesteps()));
+  }
+  Matrix eps = Matrix::RandomNormal(batch, z.cols(), rng);
+  Matrix z_t = backbone_->ForwardProcess(z, t, eps);
+  Matrix z0_hat = backbone_->ForwardBackbone(z_t, t, /*training=*/true);
+
+  joint_optimizer_->ZeroGrad();
+  double recon_loss = 0.0;
+  Matrix grad_pred(batch, z.cols());
+  int offset = 0;
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    const int s_i = clients_[i]->latent_dim();
+    Matrix z0_hat_i = z0_hat.SliceCols(offset, s_i);
+    channel_.SendMatrix("coordinator", clients_[i]->party_name(), z0_hat_i,
+                        "denoised_latents");
+    // Client-side decode + head loss + decoder backward.
+    TabularAutoencoder* ae = clients_[i]->autoencoder();
+    Matrix x_i = client_inputs_[i].GatherRows(batch_rows);
+    Matrix heads = ae->DecoderForward(z0_hat_i, true);
+    Matrix grad_heads;
+    recon_loss += ae->HeadLoss(heads, x_i, &grad_heads);
+    Matrix grad_z0_i = ae->DecoderBackward(grad_heads);
+    channel_.SendMatrix(clients_[i]->party_name(), "coordinator", grad_z0_i,
+                        "backward_gradients");
+    for (int r = 0; r < batch; ++r) {
+      const float* src = grad_z0_i.row_data(r);
+      float* dst = grad_pred.row_data(r) + offset;
+      std::copy(src, src + s_i, dst);
+    }
+    offset += s_i;
+  }
+  recon_loss /= static_cast<double>(clients_.size());
+
+  // Diffusion MSE; as in E2E, the gradient flows to both the prediction and
+  // the clean latents (the target-side term anchors the latent scale).
+  Matrix grad_mse;
+  const double diffusion_loss = MseLoss(z0_hat, z, &grad_mse);
+  grad_pred.AddInPlace(grad_mse);
+
+  Matrix grad_zt = backbone_->BackwardBackbone(grad_pred);
+  // dz_t/dz = sqrt(alpha_bar_t) plus the MSE target-side gradient; ship
+  // gradient slices back to clients.
+  offset = 0;
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    const int s_i = clients_[i]->latent_dim();
+    Matrix grad_z_i(batch, s_i);
+    for (int r = 0; r < batch; ++r) {
+      const float s0 =
+          static_cast<float>(backbone_->schedule().sqrt_alpha_bar(t[r]));
+      const float* src = grad_zt.row_data(r) + offset;
+      const float* mse = grad_mse.row_data(r) + offset;
+      float* dst = grad_z_i.row_data(r);
+      for (int c = 0; c < s_i; ++c) dst[c] = s0 * src[c] - mse[c];
+    }
+    channel_.SendMatrix("coordinator", clients_[i]->party_name(), grad_z_i,
+                        "backward_gradients");
+    clients_[i]->autoencoder()->EncoderBackward(grad_z_i);
+    offset += s_i;
+  }
+
+  joint_optimizer_->ClipGradNorm(config_.autoencoder.grad_clip);
+  joint_optimizer_->Step();
+  return {recon_loss, diffusion_loss};
+}
+
+Result<Table> E2EDistrSynthesizer::Synthesize(int num_rows, Rng* rng) {
+  if (!fitted_) return Status::FailedPrecondition("Fit E2EDistr first");
+  if (num_rows <= 0) return Status::InvalidArgument("num_rows must be > 0");
+  Matrix z = backbone_->Sample(num_rows, config_.inference_steps, rng,
+                               config_.sampling_eta);
+  channel_.BeginRound();
+  std::vector<Table> parts;
+  parts.reserve(clients_.size());
+  int offset = 0;
+  for (auto& client : clients_) {
+    Matrix z_i = z.SliceCols(offset, client->latent_dim());
+    offset += client->latent_dim();
+    channel_.SendMatrix("coordinator", client->party_name(), z_i,
+                        "synthetic_latents");
+    parts.push_back(client->Decode(z_i, rng, /*sample=*/true));
+  }
+  return ReassembleColumns(parts, partition_);
+}
+
+}  // namespace silofuse

@@ -1,0 +1,60 @@
+#ifndef SILOFUSE_DISTRIBUTED_E2E_DISTRIBUTED_H_
+#define SILOFUSE_DISTRIBUTED_E2E_DISTRIBUTED_H_
+
+#include <memory>
+#include <vector>
+
+#include "diffusion/gaussian_ddpm.h"
+#include "distributed/channel.h"
+#include "distributed/client.h"
+#include "distributed/partition.h"
+#include "models/latent_diffusion.h"
+#include "models/synthesizer.h"
+#include "nn/optimizer.h"
+
+namespace silofuse {
+
+/// E2EDistr: the end-to-end distributed baseline of Fig. 9 (split-learning
+/// style model parallelism). Client encoders/decoders and the coordinator's
+/// DDPM backbone are trained jointly; every iteration exchanges forward
+/// activations and gradients through the channel, so communication grows as
+/// O(#iterations) — the contrast to SiloFuse's single round (Fig. 10).
+class E2EDistrSynthesizer : public Synthesizer {
+ public:
+  E2EDistrSynthesizer(LatentDiffusionConfig base, PartitionConfig partition)
+      : config_(std::move(base)), partition_config_(partition) {}
+
+  Status Fit(const Table& data, Rng* rng) override;
+  Result<Table> Synthesize(int num_rows, Rng* rng) override;
+  std::string name() const override { return "E2EDistr"; }
+
+  /// One joint iteration over a shared batch-row selection; returns
+  /// (reconstruction, diffusion) losses. Every call performs one
+  /// communication round: activations up, denoised slices down, head
+  /// gradients up, latent gradients down.
+  std::pair<double, double> TrainIteration(const std::vector<int>& batch_rows,
+                                           Rng* rng);
+
+  const Channel& channel() const { return channel_; }
+  Channel* mutable_channel() { return &channel_; }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+
+  /// Measured bytes for one training round (available after Fit).
+  int64_t bytes_per_training_round() const { return bytes_per_round_; }
+
+ private:
+  LatentDiffusionConfig config_;
+  PartitionConfig partition_config_;
+  std::vector<std::vector<int>> partition_;
+  std::vector<std::unique_ptr<SiloClient>> clients_;
+  std::vector<Matrix> client_inputs_;  // pre-encoded features per client
+  std::unique_ptr<GaussianDdpm> backbone_;
+  std::unique_ptr<Adam> joint_optimizer_;
+  Channel channel_;
+  int64_t bytes_per_round_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DISTRIBUTED_E2E_DISTRIBUTED_H_

@@ -1,0 +1,78 @@
+#include "distributed/partition.h"
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace silofuse {
+
+Result<std::vector<std::vector<int>>> PartitionColumns(
+    int num_columns, const PartitionConfig& config) {
+  if (config.num_clients < 1) {
+    return Status::InvalidArgument("need at least one client");
+  }
+  if (num_columns < config.num_clients) {
+    return Status::InvalidArgument(
+        "fewer columns than clients: every client needs at least one feature");
+  }
+  std::vector<int> order(num_columns);
+  std::iota(order.begin(), order.end(), 0);
+  if (config.permute) {
+    Rng rng(config.permute_seed);
+    rng.Shuffle(&order);
+  }
+  const int per_client = num_columns / config.num_clients;
+  std::vector<std::vector<int>> parts(config.num_clients);
+  int next = 0;
+  for (int i = 0; i < config.num_clients; ++i) {
+    // Equal split; the last client takes the remainder (Section V-A).
+    const int count = (i == config.num_clients - 1)
+                          ? num_columns - next
+                          : per_client;
+    parts[i].assign(order.begin() + next, order.begin() + next + count);
+    next += count;
+  }
+  return parts;
+}
+
+Result<std::vector<Table>> PartitionTable(const Table& table,
+                                          const PartitionConfig& config) {
+  SF_ASSIGN_OR_RETURN(auto parts,
+                      PartitionColumns(table.num_columns(), config));
+  std::vector<Table> out;
+  out.reserve(parts.size());
+  for (const auto& columns : parts) {
+    out.push_back(table.SelectColumns(columns));
+  }
+  return out;
+}
+
+Result<Table> ReassembleColumns(
+    const std::vector<Table>& parts,
+    const std::vector<std::vector<int>>& partition) {
+  if (parts.size() != partition.size() || parts.empty()) {
+    return Status::InvalidArgument("parts/partition size mismatch");
+  }
+  SF_ASSIGN_OR_RETURN(Table joined, Table::ConcatColumns(parts));
+  // joined's column j corresponds to original index flat_partition[j];
+  // invert that mapping.
+  std::vector<int> flat;
+  for (const auto& cols : partition) {
+    flat.insert(flat.end(), cols.begin(), cols.end());
+  }
+  if (static_cast<int>(flat.size()) != joined.num_columns()) {
+    return Status::InvalidArgument(
+        "partition does not cover the joined column count");
+  }
+  std::vector<int> inverse(flat.size(), -1);
+  for (size_t j = 0; j < flat.size(); ++j) {
+    if (flat[j] < 0 || flat[j] >= static_cast<int>(flat.size()) ||
+        inverse[flat[j]] != -1) {
+      return Status::InvalidArgument("partition is not a permutation");
+    }
+    inverse[flat[j]] = static_cast<int>(j);
+  }
+  return joined.SelectColumns(inverse);
+}
+
+}  // namespace silofuse

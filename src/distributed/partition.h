@@ -1,0 +1,40 @@
+#ifndef SILOFUSE_DISTRIBUTED_PARTITION_H_
+#define SILOFUSE_DISTRIBUTED_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace silofuse {
+
+/// Assigns columns to clients: either in schema order ("unshuffled columns",
+/// the paper's default) or after a seeded shuffle (the "permuted" order of
+/// Fig. 11, seed 12343 in the paper).
+struct PartitionConfig {
+  int num_clients = 4;
+  bool permute = false;
+  uint64_t permute_seed = 12343;
+};
+
+/// Column indices owned by each client. Columns are split equally; the last
+/// client receives the remainder, as in Section V-A.
+Result<std::vector<std::vector<int>>> PartitionColumns(
+    int num_columns, const PartitionConfig& config);
+
+/// Splits `table` vertically according to the partition; element i is the
+/// feature set X_i of client C_i.
+Result<std::vector<Table>> PartitionTable(const Table& table,
+                                          const PartitionConfig& config);
+
+/// Inverse of PartitionTable: column-concatenates per-client tables and
+/// restores the original column order. `partition[i]` must list the original
+/// column indices held by client i (as returned by PartitionColumns), and
+/// every part must be row-aligned.
+Result<Table> ReassembleColumns(const std::vector<Table>& parts,
+                                const std::vector<std::vector<int>>& partition);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_DISTRIBUTED_PARTITION_H_

@@ -1,0 +1,262 @@
+#include "metrics/association.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace silofuse {
+namespace {
+
+constexpr double kTiny = 1e-12;
+
+std::vector<double> EmpiricalQuantiles(std::vector<double> values, int k) {
+  std::sort(values.begin(), values.end());
+  const int n = static_cast<int>(values.size());
+  std::vector<double> q(k);
+  for (int i = 0; i < k; ++i) {
+    const double pos = (k == 1) ? 0.0 : static_cast<double>(i) * (n - 1) / (k - 1);
+    const int lo = static_cast<int>(std::floor(pos));
+    const int hi = std::min(lo + 1, n - 1);
+    const double frac = pos - lo;
+    q[i] = values[lo] * (1.0 - frac) + values[hi] * frac;
+  }
+  return q;
+}
+
+std::vector<double> CategoryFrequencies(const std::vector<int>& codes,
+                                        int cardinality) {
+  std::vector<double> freq(cardinality, 0.0);
+  for (int c : codes) {
+    SF_CHECK(c >= 0 && c < cardinality);
+    freq[c] += 1.0;
+  }
+  for (double& f : freq) f /= std::max<size_t>(1, codes.size());
+  return freq;
+}
+
+double JsDistanceFromHistograms(const std::vector<double>& p,
+                                const std::vector<double>& q) {
+  SF_CHECK_EQ(p.size(), q.size());
+  double js = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double m = 0.5 * (p[i] + q[i]);
+    if (p[i] > kTiny) js += 0.5 * p[i] * std::log2(p[i] / m);
+    if (q[i] > kTiny) js += 0.5 * q[i] * std::log2(q[i] / m);
+  }
+  return std::sqrt(std::max(0.0, std::min(1.0, js)));
+}
+
+}  // namespace
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  SF_CHECK_EQ(a.size(), b.size());
+  SF_CHECK(!a.empty());
+  const double n = static_cast<double>(a.size());
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a < kTiny || var_b < kTiny) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double Entropy(const std::vector<int>& codes, int cardinality) {
+  const std::vector<double> freq = CategoryFrequencies(codes, cardinality);
+  double h = 0.0;
+  for (double f : freq) {
+    if (f > kTiny) h -= f * std::log(f);
+  }
+  return h;
+}
+
+double TheilsU(const std::vector<int>& x, const std::vector<int>& y,
+               int card_x, int card_y) {
+  SF_CHECK_EQ(x.size(), y.size());
+  SF_CHECK(!x.empty());
+  const double hx = Entropy(x, card_x);
+  if (hx < kTiny) return 1.0;  // X is constant: fully "explained"
+  // H(X|Y) = sum_y p(y) H(X | Y=y).
+  std::vector<std::vector<double>> joint(card_y,
+                                         std::vector<double>(card_x, 0.0));
+  std::vector<double> py(card_y, 0.0);
+  const double n = static_cast<double>(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    SF_CHECK(x[i] >= 0 && x[i] < card_x);
+    SF_CHECK(y[i] >= 0 && y[i] < card_y);
+    joint[y[i]][x[i]] += 1.0;
+    py[y[i]] += 1.0;
+  }
+  double h_x_given_y = 0.0;
+  for (int j = 0; j < card_y; ++j) {
+    if (py[j] < kTiny) continue;
+    double h = 0.0;
+    for (int i = 0; i < card_x; ++i) {
+      const double p = joint[j][i] / py[j];
+      if (p > kTiny) h -= p * std::log(p);
+    }
+    h_x_given_y += (py[j] / n) * h;
+  }
+  return std::max(0.0, std::min(1.0, (hx - h_x_given_y) / hx));
+}
+
+double CorrelationRatio(const std::vector<int>& categories,
+                        const std::vector<double>& values, int cardinality) {
+  SF_CHECK_EQ(categories.size(), values.size());
+  SF_CHECK(!values.empty());
+  std::vector<double> sum(cardinality, 0.0);
+  std::vector<double> count(cardinality, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    SF_CHECK(categories[i] >= 0 && categories[i] < cardinality);
+    sum[categories[i]] += values[i];
+    count[categories[i]] += 1.0;
+    total += values[i];
+  }
+  const double grand_mean = total / values.size();
+  double between = 0.0;
+  for (int k = 0; k < cardinality; ++k) {
+    if (count[k] < kTiny) continue;
+    const double mean_k = sum[k] / count[k];
+    between += count[k] * (mean_k - grand_mean) * (mean_k - grand_mean);
+  }
+  double total_var = 0.0;
+  for (double v : values) {
+    total_var += (v - grand_mean) * (v - grand_mean);
+  }
+  if (total_var < kTiny) return 0.0;
+  return std::sqrt(std::max(0.0, std::min(1.0, between / total_var)));
+}
+
+std::vector<int> ColumnCodes(const Table& table, int column) {
+  std::vector<int> codes(table.num_rows());
+  for (int r = 0; r < table.num_rows(); ++r) codes[r] = table.code(r, column);
+  return codes;
+}
+
+Matrix PairwiseAssociations(const Table& table) {
+  const int d = table.num_columns();
+  Matrix out(d, d);
+  const Schema& schema = table.schema();
+  for (int i = 0; i < d; ++i) {
+    out.at(i, i) = 1.0f;
+    for (int j = 0; j < d; ++j) {
+      if (i == j) continue;
+      const bool cat_i = schema.column(i).is_categorical();
+      const bool cat_j = schema.column(j).is_categorical();
+      double value;
+      if (!cat_i && !cat_j) {
+        if (j < i) {
+          value = out.at(j, i);  // symmetric; reuse
+        } else {
+          value = PearsonCorrelation(table.column_values(i),
+                                     table.column_values(j));
+        }
+      } else if (cat_i && cat_j) {
+        value = TheilsU(ColumnCodes(table, i), ColumnCodes(table, j),
+                        schema.column(i).cardinality,
+                        schema.column(j).cardinality);
+      } else if (cat_i) {
+        value = CorrelationRatio(ColumnCodes(table, i), table.column_values(j),
+                                 schema.column(i).cardinality);
+      } else {
+        value = CorrelationRatio(ColumnCodes(table, j), table.column_values(i),
+                                 schema.column(j).cardinality);
+      }
+      out.at(i, j) = static_cast<float>(value);
+    }
+  }
+  return out;
+}
+
+double AssociationDifference(const Table& real, const Table& synth) {
+  SF_CHECK(real.schema() == synth.schema());
+  Matrix a = PairwiseAssociations(real);
+  Matrix b = PairwiseAssociations(synth);
+  double acc = 0.0;
+  int count = 0;
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      if (i == j) continue;
+      acc += std::abs(a.at(i, j) - b.at(i, j));
+      ++count;
+    }
+  }
+  return count > 0 ? acc / count : 0.0;
+}
+
+double KsStatistic(const std::vector<double>& a, const std::vector<double>& b) {
+  SF_CHECK(!a.empty() && !b.empty());
+  std::vector<double> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  double ks = 0.0;
+  size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const double v = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= v) ++i;
+    while (j < sb.size() && sb[j] <= v) ++j;
+    const double fa = static_cast<double>(i) / sa.size();
+    const double fb = static_cast<double>(j) / sb.size();
+    ks = std::max(ks, std::abs(fa - fb));
+  }
+  return ks;
+}
+
+double TotalVariation(const std::vector<int>& a, const std::vector<int>& b,
+                      int cardinality) {
+  const std::vector<double> pa = CategoryFrequencies(a, cardinality);
+  const std::vector<double> pb = CategoryFrequencies(b, cardinality);
+  double tv = 0.0;
+  for (int k = 0; k < cardinality; ++k) tv += std::abs(pa[k] - pb[k]);
+  return 0.5 * tv;
+}
+
+double JensenShannonDistanceNumeric(const std::vector<double>& a,
+                                    const std::vector<double>& b, int bins) {
+  SF_CHECK(!a.empty() && !b.empty());
+  SF_CHECK_GT(bins, 1);
+  double lo = std::min(*std::min_element(a.begin(), a.end()),
+                       *std::min_element(b.begin(), b.end()));
+  double hi = std::max(*std::max_element(a.begin(), a.end()),
+                       *std::max_element(b.begin(), b.end()));
+  if (hi - lo < kTiny) return 0.0;  // both effectively constant and equal
+  auto histogram = [&](const std::vector<double>& v) {
+    std::vector<double> h(bins, 0.0);
+    for (double x : v) {
+      int bin = static_cast<int>((x - lo) / (hi - lo) * bins);
+      bin = std::max(0, std::min(bins - 1, bin));
+      h[bin] += 1.0;
+    }
+    for (double& f : h) f /= v.size();
+    return h;
+  };
+  return JsDistanceFromHistograms(histogram(a), histogram(b));
+}
+
+double JensenShannonDistanceCategorical(const std::vector<int>& a,
+                                        const std::vector<int>& b,
+                                        int cardinality) {
+  return JsDistanceFromHistograms(CategoryFrequencies(a, cardinality),
+                                  CategoryFrequencies(b, cardinality));
+}
+
+double QuantileCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b, int quantiles) {
+  SF_CHECK(!a.empty() && !b.empty());
+  const std::vector<double> qa = EmpiricalQuantiles(a, quantiles);
+  const std::vector<double> qb = EmpiricalQuantiles(b, quantiles);
+  return PearsonCorrelation(qa, qb);
+}
+
+}  // namespace silofuse

@@ -1,0 +1,69 @@
+#ifndef SILOFUSE_METRICS_ASSOCIATION_H_
+#define SILOFUSE_METRICS_ASSOCIATION_H_
+
+#include <vector>
+
+#include "data/table.h"
+#include "tensor/matrix.h"
+
+namespace silofuse {
+
+/// Pearson correlation coefficient of two equal-length series (0 when either
+/// is degenerate).
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Theil's U — the uncertainty coefficient U(x|y) in [0, 1]: how much of
+/// H(X) is explained by knowing Y. Codes must lie in [0, card).
+double TheilsU(const std::vector<int>& x, const std::vector<int>& y,
+               int card_x, int card_y);
+
+/// Correlation ratio (eta) between a categorical grouping and a numeric
+/// variable, in [0, 1].
+double CorrelationRatio(const std::vector<int>& categories,
+                        const std::vector<double>& values, int cardinality);
+
+/// Shannon entropy of a code series (natural log).
+double Entropy(const std::vector<int>& codes, int cardinality);
+
+/// Pairwise association matrix of a table (the per-dataset "feature
+/// correlation" graph of Table V): Pearson for numeric-numeric, Theil's U
+/// for categorical-categorical, correlation ratio for mixed pairs, 1 on the
+/// diagonal.
+Matrix PairwiseAssociations(const Table& table);
+
+/// Mean absolute difference of the two tables' association matrices —
+/// the scalar summarized by the paper's correlation-difference heatmaps.
+/// Tables must share a schema.
+double AssociationDifference(const Table& real, const Table& synth);
+
+/// ---- Per-column distribution distances -----------------------------------
+
+/// Two-sample Kolmogorov-Smirnov statistic in [0, 1].
+double KsStatistic(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Total variation distance between categorical distributions in [0, 1].
+double TotalVariation(const std::vector<int>& a, const std::vector<int>& b,
+                      int cardinality);
+
+/// Jensen-Shannon distance (sqrt of JS divergence, log base 2 so it lies in
+/// [0, 1]) between the empirical distributions. Numeric inputs are
+/// discretized into `bins` equal-width bins over the combined range.
+double JensenShannonDistanceNumeric(const std::vector<double>& a,
+                                    const std::vector<double>& b,
+                                    int bins = 20);
+double JensenShannonDistanceCategorical(const std::vector<int>& a,
+                                        const std::vector<int>& b,
+                                        int cardinality);
+
+/// Q-Q correlation: Pearson correlation of the two samples' matched
+/// quantiles — the numeric "column similarity" of the resemblance score.
+double QuantileCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b, int quantiles = 100);
+
+/// Extracts a categorical column as int codes.
+std::vector<int> ColumnCodes(const Table& table, int column);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_METRICS_ASSOCIATION_H_

@@ -1,0 +1,127 @@
+#include "metrics/distribution_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "metrics/association.h"
+
+namespace silofuse {
+namespace {
+
+std::string Bar(double fraction, int width, char glyph) {
+  const int n = std::max(0, std::min(width, static_cast<int>(
+                                                std::lround(fraction * width))));
+  return std::string(n, glyph);
+}
+
+void RenderNumericColumn(const Table& real, const Table& synth, int column,
+                         const DistributionReportOptions& options,
+                         std::ostringstream* out) {
+  const auto& rv = real.column_values(column);
+  const auto& sv = synth.column_values(column);
+  const double lo = std::min(*std::min_element(rv.begin(), rv.end()),
+                             *std::min_element(sv.begin(), sv.end()));
+  const double hi = std::max(*std::max_element(rv.begin(), rv.end()),
+                             *std::max_element(sv.begin(), sv.end()));
+  const double span = std::max(1e-12, hi - lo);
+  std::vector<double> real_hist(options.bins, 0.0);
+  std::vector<double> synth_hist(options.bins, 0.0);
+  auto fill = [&](const std::vector<double>& values, std::vector<double>* h) {
+    for (double v : values) {
+      int bin = static_cast<int>((v - lo) / span * options.bins);
+      bin = std::max(0, std::min(options.bins - 1, bin));
+      (*h)[bin] += 1.0;
+    }
+    for (double& f : *h) f /= values.size();
+  };
+  fill(rv, &real_hist);
+  fill(sv, &synth_hist);
+  const double peak = std::max(
+      *std::max_element(real_hist.begin(), real_hist.end()),
+      *std::max_element(synth_hist.begin(), synth_hist.end()));
+  for (int b = 0; b < options.bins; ++b) {
+    const double edge = lo + span * b / options.bins;
+    *out << "  " << FormatDouble(edge, 2) << "\t|"
+         << Bar(real_hist[b] / peak, options.bar_width, '#') << "\n"
+         << "  \t|" << Bar(synth_hist[b] / peak, options.bar_width, 'o')
+         << "\n";
+  }
+}
+
+void RenderCategoricalColumn(const Table& real, const Table& synth, int column,
+                             const DistributionReportOptions& options,
+                             std::ostringstream* out) {
+  const int card = real.schema().column(column).cardinality;
+  std::vector<double> real_freq(card, 0.0), synth_freq(card, 0.0);
+  for (int r = 0; r < real.num_rows(); ++r) {
+    real_freq[real.code(r, column)] += 1.0 / real.num_rows();
+  }
+  for (int r = 0; r < synth.num_rows(); ++r) {
+    synth_freq[synth.code(r, column)] += 1.0 / synth.num_rows();
+  }
+  // Order categories by real frequency; show the top-K.
+  std::vector<int> order(card);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return real_freq[a] > real_freq[b]; });
+  const int shown = std::min(card, options.max_categories);
+  const double peak = std::max(1e-12, real_freq[order[0]]);
+  for (int i = 0; i < shown; ++i) {
+    const int k = order[i];
+    *out << "  cat " << k << "\t|"
+         << Bar(real_freq[k] / peak, options.bar_width, '#') << " "
+         << FormatDouble(100.0 * real_freq[k], 1) << "%\n"
+         << "  \t|" << Bar(synth_freq[k] / peak, options.bar_width, 'o')
+         << " " << FormatDouble(100.0 * synth_freq[k], 1) << "%\n";
+  }
+  if (shown < card) {
+    *out << "  (" << card - shown << " more categories omitted)\n";
+  }
+}
+
+}  // namespace
+
+Result<std::string> RenderDistributionReport(
+    const Table& real, const Table& synth,
+    const DistributionReportOptions& options) {
+  if (!(real.schema() == synth.schema())) {
+    return Status::InvalidArgument("real/synthetic schema mismatch");
+  }
+  if (real.num_rows() == 0 || synth.num_rows() == 0) {
+    return Status::InvalidArgument("empty table in distribution report");
+  }
+  if (options.bins < 2 || options.bar_width < 1 || options.max_categories < 1) {
+    return Status::InvalidArgument("invalid distribution report options");
+  }
+  std::ostringstream out;
+  out << "Per-column distributions (#: real, o: synthetic)\n";
+  const int columns = std::min(real.num_columns(), options.max_columns);
+  for (int c = 0; c < columns; ++c) {
+    const ColumnSpec& spec = real.schema().column(c);
+    double js;
+    if (spec.is_categorical()) {
+      js = JensenShannonDistanceCategorical(ColumnCodes(real, c),
+                                            ColumnCodes(synth, c),
+                                            spec.cardinality);
+    } else {
+      js = JensenShannonDistanceNumeric(real.column_values(c),
+                                        synth.column_values(c), options.bins);
+    }
+    out << "\n== " << spec.name << " (" << ColumnTypeToString(spec.type)
+        << ", JS distance " << FormatDouble(js, 3) << ") ==\n";
+    if (spec.is_categorical()) {
+      RenderCategoricalColumn(real, synth, c, options, &out);
+    } else {
+      RenderNumericColumn(real, synth, c, options, &out);
+    }
+  }
+  if (columns < real.num_columns()) {
+    out << "\n(" << real.num_columns() - columns << " more columns omitted)\n";
+  }
+  return out.str();
+}
+
+}  // namespace silofuse

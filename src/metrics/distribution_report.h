@@ -1,0 +1,29 @@
+#ifndef SILOFUSE_METRICS_DISTRIBUTION_REPORT_H_
+#define SILOFUSE_METRICS_DISTRIBUTION_REPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/table.h"
+
+namespace silofuse {
+
+/// Options for the per-column distribution comparison report (the paper's
+/// appendix shows these plots; we render them as paired ASCII histograms).
+struct DistributionReportOptions {
+  int bins = 12;           // numeric histogram bins
+  int bar_width = 30;      // characters for a full bar
+  int max_categories = 8;  // categoricals: top-K categories shown
+  int max_columns = 64;    // safety cap for very wide tables
+};
+
+/// Renders, for every column, the real and synthetic empirical
+/// distributions side by side with their JS distance — a human-readable
+/// version of the paper's appendix figures. Tables must share a schema.
+Result<std::string> RenderDistributionReport(
+    const Table& real, const Table& synth,
+    const DistributionReportOptions& options = {});
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_METRICS_DISTRIBUTION_REPORT_H_

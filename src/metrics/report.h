@@ -1,0 +1,29 @@
+#ifndef SILOFUSE_METRICS_REPORT_H_
+#define SILOFUSE_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace silofuse {
+
+/// Fixed-width text table used by the bench harnesses to print the paper's
+/// tables/figures in a diff-friendly layout.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats with 2-space column gaps and a dashed rule under the header.
+  std::string ToString() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_METRICS_REPORT_H_

@@ -1,0 +1,129 @@
+#include "metrics/resemblance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/split.h"
+#include "metrics/association.h"
+#include "ml/gbt.h"
+
+namespace silofuse {
+namespace {
+
+double Clamp01(double v) { return std::max(0.0, std::min(1.0, v)); }
+
+double ColumnSimilarity(const Table& real, const Table& synth) {
+  const Schema& schema = real.schema();
+  double acc = 0.0;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).is_categorical()) {
+      acc += 1.0 - TotalVariation(ColumnCodes(real, c), ColumnCodes(synth, c),
+                                  schema.column(c).cardinality);
+    } else {
+      acc += Clamp01(
+          QuantileCorrelation(real.column_values(c), synth.column_values(c)));
+    }
+  }
+  return acc / schema.num_columns();
+}
+
+double JsSimilarity(const Table& real, const Table& synth) {
+  const Schema& schema = real.schema();
+  double acc = 0.0;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    double dist;
+    if (schema.column(c).is_categorical()) {
+      dist = JensenShannonDistanceCategorical(ColumnCodes(real, c),
+                                              ColumnCodes(synth, c),
+                                              schema.column(c).cardinality);
+    } else {
+      dist = JensenShannonDistanceNumeric(real.column_values(c),
+                                          synth.column_values(c));
+    }
+    acc += 1.0 - dist;
+  }
+  return acc / schema.num_columns();
+}
+
+double KsSimilarity(const Table& real, const Table& synth) {
+  const Schema& schema = real.schema();
+  double acc = 0.0;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    double dist;
+    if (schema.column(c).is_categorical()) {
+      dist = TotalVariation(ColumnCodes(real, c), ColumnCodes(synth, c),
+                            schema.column(c).cardinality);
+    } else {
+      dist = KsStatistic(real.column_values(c), synth.column_values(c));
+    }
+    acc += 1.0 - dist;
+  }
+  return acc / schema.num_columns();
+}
+
+Result<double> PropensityScore(const Table& real, const Table& synth,
+                               Rng* rng) {
+  // Balance the classes: use min(n_real, n_synth) rows of each.
+  const int n = std::min(real.num_rows(), synth.num_rows());
+  Table real_s = real.Sample(n, rng);
+  Table synth_s = synth.Sample(n, rng);
+  Matrix x_real = real_s.ToMatrix();
+  Matrix x_synth = synth_s.ToMatrix();
+  Matrix x = Matrix::ConcatRows({x_real, x_synth});
+  std::vector<double> y(2 * n, 0.0);
+  for (int i = 0; i < n; ++i) y[i] = 1.0;  // real = 1, synthetic = 0
+
+  // Shuffle and hold out a third for evaluation.
+  std::vector<int> perm = rng->Permutation(2 * n);
+  Matrix x_shuffled = x.GatherRows(perm);
+  std::vector<double> y_shuffled(2 * n);
+  for (int i = 0; i < 2 * n; ++i) y_shuffled[i] = y[perm[i]];
+  const int test = std::max(2, (2 * n) / 3);
+  const int train = 2 * n - test;
+  Matrix x_train = x_shuffled.SliceRows(0, train);
+  Matrix x_test = x_shuffled.SliceRows(train, test);
+  std::vector<double> y_train(y_shuffled.begin(), y_shuffled.begin() + train);
+
+  GbtConfig config;
+  config.num_trees = 30;
+  SF_ASSIGN_OR_RETURN(
+      GbtModel model,
+      GbtModel::Train(x_train, y_train, GbtTask::kBinary, 2, config, rng));
+  Matrix proba = model.PredictProba(x_test);
+  double mae = 0.0;
+  for (int r = 0; r < proba.rows(); ++r) {
+    mae += std::abs(proba.at(r, 1) - 0.5);
+  }
+  mae /= proba.rows();
+  // Indistinguishable -> mae 0 -> score 1; perfectly separable -> mae 0.5
+  // -> score 0.
+  return Clamp01(1.0 - 2.0 * mae);
+}
+
+}  // namespace
+
+Result<ResemblanceBreakdown> ComputeResemblance(const Table& real,
+                                                const Table& synth, Rng* rng) {
+  if (!(real.schema() == synth.schema())) {
+    return Status::InvalidArgument("real/synthetic schema mismatch");
+  }
+  if (real.num_rows() < 10 || synth.num_rows() < 10) {
+    return Status::InvalidArgument("need at least 10 rows per table");
+  }
+  ResemblanceBreakdown out;
+  out.column_similarity = 100.0 * ColumnSimilarity(real, synth);
+  out.correlation_similarity =
+      100.0 * Clamp01(1.0 - AssociationDifference(real, synth));
+  out.jensen_shannon = 100.0 * JsSimilarity(real, synth);
+  out.kolmogorov_smirnov = 100.0 * KsSimilarity(real, synth);
+  SF_ASSIGN_OR_RETURN(const double propensity,
+                      PropensityScore(real, synth, rng));
+  out.propensity = 100.0 * propensity;
+  out.overall = (out.column_similarity + out.correlation_similarity +
+                 out.jensen_shannon + out.kolmogorov_smirnov +
+                 out.propensity) /
+                5.0;
+  return out;
+}
+
+}  // namespace silofuse

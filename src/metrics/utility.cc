@@ -1,0 +1,80 @@
+#include "metrics/utility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/eval.h"
+#include "ml/gbt.h"
+
+namespace silofuse {
+namespace {
+
+/// Splits a table into features (all columns but target) and target values.
+struct XY {
+  Matrix x;
+  std::vector<double> y;
+};
+
+Result<XY> SplitXY(const Table& table, const std::string& target) {
+  SF_ASSIGN_OR_RETURN(const int target_idx,
+                      table.schema().ColumnIndex(target));
+  std::vector<int> feature_cols;
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c != target_idx) feature_cols.push_back(c);
+  }
+  XY out;
+  out.x = table.SelectColumns(feature_cols).ToMatrix();
+  out.y = table.column_values(target_idx);
+  return out;
+}
+
+}  // namespace
+
+Result<double> DownstreamScore(const Table& train, const Table& test,
+                               const DatasetTask& task, Rng* rng) {
+  if (!(train.schema() == test.schema())) {
+    return Status::InvalidArgument("train/test schema mismatch");
+  }
+  SF_ASSIGN_OR_RETURN(XY train_xy, SplitXY(train, task.target_column));
+  SF_ASSIGN_OR_RETURN(XY test_xy, SplitXY(test, task.target_column));
+  GbtConfig config;
+  if (task.classification) {
+    SF_ASSIGN_OR_RETURN(const int target_idx,
+                        train.schema().ColumnIndex(task.target_column));
+    const int classes = train.schema().column(target_idx).cardinality;
+    const GbtTask gbt_task =
+        classes == 2 ? GbtTask::kBinary : GbtTask::kMulticlass;
+    SF_ASSIGN_OR_RETURN(GbtModel model,
+                        GbtModel::Train(train_xy.x, train_xy.y, gbt_task,
+                                        classes, config, rng));
+    std::vector<int> pred = model.PredictClass(test_xy.x);
+    std::vector<int> truth(test_xy.y.size());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      truth[i] = static_cast<int>(std::lround(test_xy.y[i]));
+    }
+    return MacroF1(truth, pred, classes);
+  }
+  SF_ASSIGN_OR_RETURN(GbtModel model,
+                      GbtModel::Train(train_xy.x, train_xy.y,
+                                      GbtTask::kRegression, 1, config, rng));
+  std::vector<double> pred = model.PredictValue(test_xy.x);
+  return D2AbsoluteErrorScore(test_xy.y, pred);
+}
+
+Result<UtilityResult> ComputeUtility(const Table& real_train,
+                                     const Table& real_test,
+                                     const Table& synth,
+                                     const DatasetTask& task, Rng* rng) {
+  UtilityResult out;
+  SF_ASSIGN_OR_RETURN(out.real_score,
+                      DownstreamScore(real_train, real_test, task, rng));
+  SF_ASSIGN_OR_RETURN(out.synth_score,
+                      DownstreamScore(synth, real_test, task, rng));
+  // Guard degenerate real baselines so the ratio stays meaningful.
+  const double denom = std::max(out.real_score, 0.05);
+  const double ratio = std::max(0.0, out.synth_score) / denom;
+  out.utility = std::min(100.0, 100.0 * ratio);
+  return out;
+}
+
+}  // namespace silofuse

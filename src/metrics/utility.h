@@ -1,0 +1,34 @@
+#ifndef SILOFUSE_METRICS_UTILITY_H_
+#define SILOFUSE_METRICS_UTILITY_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/generators/paper_datasets.h"
+#include "data/table.h"
+
+namespace silofuse {
+
+/// Downstream-task comparison of Section V-B.
+struct UtilityResult {
+  double real_score = 0.0;   // model trained on real data
+  double synth_score = 0.0;  // model trained on synthetic data
+  double utility = 0.0;      // 100 * synth/real, clipped to [0, 100]
+};
+
+/// Trains a GBT on `real_train` and on `synth` (same target column), scores
+/// both on `real_test` — macro-F1 for classification, D2 absolute-error
+/// score for regression — and returns the synthetic/real ratio in percent,
+/// clipped at 100 as in the paper.
+Result<UtilityResult> ComputeUtility(const Table& real_train,
+                                     const Table& real_test,
+                                     const Table& synth,
+                                     const DatasetTask& task, Rng* rng);
+
+/// Scores a single train table against the test set (the inner step of
+/// ComputeUtility); exposed for tests and ablations.
+Result<double> DownstreamScore(const Table& train, const Table& test,
+                               const DatasetTask& task, Rng* rng);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_METRICS_UTILITY_H_

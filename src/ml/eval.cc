@@ -1,0 +1,73 @@
+#include "ml/eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace silofuse {
+
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred) {
+  SF_CHECK_EQ(y_true.size(), y_pred.size());
+  SF_CHECK(!y_true.empty());
+  int correct = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == y_pred[i]) ++correct;
+  }
+  return static_cast<double>(correct) / y_true.size();
+}
+
+double MacroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+               int num_classes) {
+  SF_CHECK_EQ(y_true.size(), y_pred.size());
+  SF_CHECK(!y_true.empty());
+  SF_CHECK_GE(num_classes, 2);
+  double f1_sum = 0.0;
+  int observed = 0;
+  for (int k = 0; k < num_classes; ++k) {
+    int tp = 0, fp = 0, fn = 0;
+    for (size_t i = 0; i < y_true.size(); ++i) {
+      const bool t = y_true[i] == k;
+      const bool p = y_pred[i] == k;
+      if (t && p) ++tp;
+      if (!t && p) ++fp;
+      if (t && !p) ++fn;
+    }
+    if (tp + fp + fn == 0) continue;  // class absent everywhere
+    ++observed;
+    if (tp == 0) continue;            // precision/recall both 0
+    const double precision = static_cast<double>(tp) / (tp + fp);
+    const double recall = static_cast<double>(tp) / (tp + fn);
+    f1_sum += 2.0 * precision * recall / (precision + recall);
+  }
+  return observed > 0 ? f1_sum / observed : 0.0;
+}
+
+double MeanAbsoluteError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred) {
+  SF_CHECK_EQ(y_true.size(), y_pred.size());
+  SF_CHECK(!y_true.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    acc += std::abs(y_true[i] - y_pred[i]);
+  }
+  return acc / y_true.size();
+}
+
+double D2AbsoluteErrorScore(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred) {
+  SF_CHECK_EQ(y_true.size(), y_pred.size());
+  SF_CHECK(!y_true.empty());
+  std::vector<double> sorted = y_true;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  double mae_baseline = 0.0;
+  for (double v : y_true) mae_baseline += std::abs(v - median);
+  mae_baseline /= y_true.size();
+  const double mae = MeanAbsoluteError(y_true, y_pred);
+  if (mae_baseline < 1e-12) return mae < 1e-12 ? 1.0 : 0.0;
+  return 1.0 - mae / mae_baseline;
+}
+
+}  // namespace silofuse

@@ -1,0 +1,28 @@
+#ifndef SILOFUSE_ML_EVAL_H_
+#define SILOFUSE_ML_EVAL_H_
+
+#include <vector>
+
+namespace silofuse {
+
+/// Classification accuracy.
+double Accuracy(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// Macro-averaged F1 over `num_classes` labels (classes absent from both
+/// truth and prediction are skipped, matching sklearn's behaviour on the
+/// observed label set).
+double MacroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred,
+               int num_classes);
+
+/// D2 absolute-error score: 1 - MAE(model) / MAE(median predictor).
+/// 1 is perfect, 0 matches the constant-median baseline, negative is worse.
+double D2AbsoluteErrorScore(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred);
+
+/// Mean absolute error.
+double MeanAbsoluteError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_ML_EVAL_H_

@@ -1,0 +1,259 @@
+#include "ml/gbt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/losses.h"
+
+namespace silofuse {
+namespace {
+
+/// Recursive exact-greedy tree builder on (gradient, hessian) targets.
+class TreeBuilder {
+ public:
+  TreeBuilder(const Matrix& x, const std::vector<double>& grad,
+              const std::vector<double>& hess, const GbtConfig& config)
+      : x_(x), grad_(grad), hess_(hess), config_(config) {}
+
+  GbtTree Build(std::vector<int> rows) {
+    GbtTree tree;
+    BuildNode(std::move(rows), 0, &tree);
+    return tree;
+  }
+
+ private:
+  int BuildNode(std::vector<int> rows, int depth, GbtTree* tree) {
+    double g_total = 0.0, h_total = 0.0;
+    for (int r : rows) {
+      g_total += grad_[r];
+      h_total += hess_[r];
+    }
+    const int node_index = static_cast<int>(tree->nodes.size());
+    tree->nodes.emplace_back();
+
+    int best_feature = -1;
+    float best_threshold = 0.0f;
+    double best_gain = config_.min_gain;
+    const double parent_score =
+        g_total * g_total / (h_total + config_.lambda);
+
+    if (depth < config_.max_depth &&
+        static_cast<int>(rows.size()) >= 2 * config_.min_samples_leaf) {
+      std::vector<int> sorted = rows;
+      for (int f = 0; f < x_.cols(); ++f) {
+        std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+          return x_.at(a, f) < x_.at(b, f);
+        });
+        double g_left = 0.0, h_left = 0.0;
+        for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+          const int r = sorted[i];
+          g_left += grad_[r];
+          h_left += hess_[r];
+          const float v = x_.at(r, f);
+          const float v_next = x_.at(sorted[i + 1], f);
+          if (v == v_next) continue;  // cannot split between equal values
+          const int n_left = static_cast<int>(i) + 1;
+          const int n_right = static_cast<int>(sorted.size()) - n_left;
+          if (n_left < config_.min_samples_leaf ||
+              n_right < config_.min_samples_leaf) {
+            continue;
+          }
+          const double g_right = g_total - g_left;
+          const double h_right = h_total - h_left;
+          const double gain =
+              g_left * g_left / (h_left + config_.lambda) +
+              g_right * g_right / (h_right + config_.lambda) - parent_score;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_feature = f;
+            best_threshold = 0.5f * (v + v_next);
+          }
+        }
+      }
+    }
+
+    if (best_feature < 0) {
+      tree->nodes[node_index].value = static_cast<float>(
+          -config_.learning_rate * g_total / (h_total + config_.lambda));
+      return node_index;
+    }
+
+    std::vector<int> left_rows, right_rows;
+    for (int r : rows) {
+      if (x_.at(r, best_feature) <= best_threshold) {
+        left_rows.push_back(r);
+      } else {
+        right_rows.push_back(r);
+      }
+    }
+    rows.clear();
+    rows.shrink_to_fit();
+    const int left = BuildNode(std::move(left_rows), depth + 1, tree);
+    const int right = BuildNode(std::move(right_rows), depth + 1, tree);
+    GbtTree::Node& node = tree->nodes[node_index];
+    node.feature = best_feature;
+    node.threshold = best_threshold;
+    node.left = left;
+    node.right = right;
+    return node_index;
+  }
+
+  const Matrix& x_;
+  const std::vector<double>& grad_;
+  const std::vector<double>& hess_;
+  const GbtConfig& config_;
+};
+
+}  // namespace
+
+float GbtTree::Predict(const float* row) const {
+  SF_CHECK(!nodes.empty());
+  int i = 0;
+  while (nodes[i].feature >= 0) {
+    i = row[nodes[i].feature] <= nodes[i].threshold ? nodes[i].left
+                                                    : nodes[i].right;
+  }
+  return nodes[i].value;
+}
+
+Result<GbtModel> GbtModel::Train(const Matrix& x, const std::vector<double>& y,
+                                 GbtTask task, int num_classes,
+                                 const GbtConfig& config, Rng* rng) {
+  const int n = x.rows();
+  if (n == 0) return Status::InvalidArgument("empty training set");
+  if (static_cast<int>(y.size()) != n) {
+    return Status::InvalidArgument("x/y size mismatch");
+  }
+  if (task == GbtTask::kMulticlass && num_classes < 2) {
+    return Status::InvalidArgument("multiclass needs num_classes >= 2");
+  }
+  GbtModel model;
+  model.task_ = task;
+  model.num_classes_ = task == GbtTask::kMulticlass ? num_classes
+                       : task == GbtTask::kBinary   ? 2
+                                                    : 1;
+  model.outputs_ = task == GbtTask::kMulticlass ? num_classes : 1;
+
+  // Base score: mean target (regression) or 0 log-odds (classification).
+  if (task == GbtTask::kRegression) {
+    model.base_score_ = std::accumulate(y.begin(), y.end(), 0.0) / n;
+  } else {
+    model.base_score_ = 0.0;
+    for (double v : y) {
+      const int label = static_cast<int>(std::lround(v));
+      if (label < 0 || label >= model.num_classes_) {
+        return Status::OutOfRange("label out of range: " + std::to_string(v));
+      }
+    }
+  }
+
+  // Raw scores maintained across rounds: n x outputs.
+  std::vector<std::vector<double>> scores(
+      model.outputs_, std::vector<double>(n, model.base_score_));
+  std::vector<double> grad(n), hess(n);
+
+  for (int round = 0; round < config.num_trees; ++round) {
+    // Row subsample shared across this round's trees.
+    std::vector<int> rows;
+    rows.reserve(n);
+    for (int r = 0; r < n; ++r) {
+      if (config.subsample >= 1.0 || rng->Bernoulli(config.subsample)) {
+        rows.push_back(r);
+      }
+    }
+    if (static_cast<int>(rows.size()) < 2 * config.min_samples_leaf) {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), 0);
+    }
+
+    if (task == GbtTask::kMulticlass) {
+      // Softmax probabilities for the current scores.
+      for (int k = 0; k < model.outputs_; ++k) {
+        for (int r = 0; r < n; ++r) {
+          double max_s = scores[0][r];
+          for (int j = 1; j < model.outputs_; ++j) {
+            max_s = std::max(max_s, scores[j][r]);
+          }
+          double denom = 0.0;
+          for (int j = 0; j < model.outputs_; ++j) {
+            denom += std::exp(scores[j][r] - max_s);
+          }
+          const double p = std::exp(scores[k][r] - max_s) / denom;
+          const double target =
+              (static_cast<int>(std::lround(y[r])) == k) ? 1.0 : 0.0;
+          grad[r] = p - target;
+          hess[r] = std::max(1e-6, p * (1.0 - p));
+        }
+        TreeBuilder builder(x, grad, hess, config);
+        GbtTree tree = builder.Build(rows);
+        for (int r = 0; r < n; ++r) scores[k][r] += tree.Predict(x.row_data(r));
+        model.trees_.push_back(std::move(tree));
+      }
+    } else {
+      for (int r = 0; r < n; ++r) {
+        if (task == GbtTask::kRegression) {
+          grad[r] = scores[0][r] - y[r];
+          hess[r] = 1.0;
+        } else {
+          const double p = 1.0 / (1.0 + std::exp(-scores[0][r]));
+          grad[r] = p - y[r];
+          hess[r] = std::max(1e-6, p * (1.0 - p));
+        }
+      }
+      TreeBuilder builder(x, grad, hess, config);
+      GbtTree tree = builder.Build(rows);
+      for (int r = 0; r < n; ++r) scores[0][r] += tree.Predict(x.row_data(r));
+      model.trees_.push_back(std::move(tree));
+    }
+  }
+  return model;
+}
+
+Matrix GbtModel::PredictRaw(const Matrix& x) const {
+  Matrix out(x.rows(), outputs_, static_cast<float>(base_score_));
+  const int rounds = static_cast<int>(trees_.size()) / outputs_;
+  for (int round = 0; round < rounds; ++round) {
+    for (int k = 0; k < outputs_; ++k) {
+      const GbtTree& tree = trees_[round * outputs_ + k];
+      for (int r = 0; r < x.rows(); ++r) {
+        out.at(r, k) += tree.Predict(x.row_data(r));
+      }
+    }
+  }
+  return out;
+}
+
+Matrix GbtModel::PredictProba(const Matrix& x) const {
+  SF_CHECK(task_ != GbtTask::kRegression);
+  Matrix raw = PredictRaw(x);
+  if (task_ == GbtTask::kBinary) {
+    Matrix out(x.rows(), 2);
+    for (int r = 0; r < x.rows(); ++r) {
+      const double p = 1.0 / (1.0 + std::exp(-raw.at(r, 0)));
+      out.at(r, 1) = static_cast<float>(p);
+      out.at(r, 0) = static_cast<float>(1.0 - p);
+    }
+    return out;
+  }
+  return SoftmaxRows(raw);
+}
+
+std::vector<int> GbtModel::PredictClass(const Matrix& x) const {
+  Matrix proba = PredictProba(x);
+  std::vector<int> out(x.rows());
+  for (int r = 0; r < x.rows(); ++r) out[r] = proba.RowArgMax(r);
+  return out;
+}
+
+std::vector<double> GbtModel::PredictValue(const Matrix& x) const {
+  SF_CHECK(task_ == GbtTask::kRegression);
+  Matrix raw = PredictRaw(x);
+  std::vector<double> out(x.rows());
+  for (int r = 0; r < x.rows(); ++r) out[r] = raw.at(r, 0);
+  return out;
+}
+
+int GbtModel::tree_count() const { return static_cast<int>(trees_.size()); }
+
+}  // namespace silofuse

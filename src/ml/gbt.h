@@ -1,0 +1,84 @@
+#ifndef SILOFUSE_ML_GBT_H_
+#define SILOFUSE_ML_GBT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "tensor/matrix.h"
+
+namespace silofuse {
+
+/// Training task of a boosted-tree model.
+enum class GbtTask { kRegression, kBinary, kMulticlass };
+
+struct GbtConfig {
+  int num_trees = 40;        // boosting rounds
+  int max_depth = 4;
+  double learning_rate = 0.15;
+  int min_samples_leaf = 8;
+  double subsample = 0.9;    // row subsample per tree
+  double lambda = 1.0;       // L2 regularization on leaf weights
+  double min_gain = 1e-6;    // minimal split gain
+};
+
+/// One regression tree of the ensemble (internal representation is a flat
+/// node array; exposed for tests).
+struct GbtTree {
+  struct Node {
+    int feature = -1;       // -1 for leaves
+    float threshold = 0.0f; // go left if x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    float value = 0.0f;     // leaf weight
+  };
+  std::vector<Node> nodes;
+
+  float Predict(const float* row) const;
+};
+
+/// Gradient-boosted decision trees with second-order (XGBoost-style) exact
+/// greedy splits. Serves as the paper's XGBoost in the propensity metric
+/// and the downstream utility task (categorical inputs are fed as ordinal
+/// codes; see DESIGN.md §4).
+class GbtModel {
+ public:
+  /// Trains a model on feature matrix `x` (n x d) and targets `y` (size n).
+  /// For kBinary, y must be 0/1; for kMulticlass, y in [0, num_classes).
+  static Result<GbtModel> Train(const Matrix& x, const std::vector<double>& y,
+                                GbtTask task, int num_classes,
+                                const GbtConfig& config, Rng* rng);
+
+  GbtTask task() const { return task_; }
+  int num_classes() const { return num_classes_; }
+
+  /// Raw additive scores: (n x 1) for regression/binary (log-odds), or
+  /// (n x num_classes) for multiclass.
+  Matrix PredictRaw(const Matrix& x) const;
+
+  /// Class probabilities; only for binary/multiclass. (n x num_classes).
+  Matrix PredictProba(const Matrix& x) const;
+
+  /// Predicted class labels (argmax); only for classification.
+  std::vector<int> PredictClass(const Matrix& x) const;
+
+  /// Point predictions; only for regression.
+  std::vector<double> PredictValue(const Matrix& x) const;
+
+  int tree_count() const;
+
+ private:
+  GbtModel() = default;
+
+  GbtTask task_ = GbtTask::kRegression;
+  int num_classes_ = 1;
+  double base_score_ = 0.0;
+  /// trees_[round * outputs + k] is round `round`'s tree for output k.
+  std::vector<GbtTree> trees_;
+  int outputs_ = 1;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_ML_GBT_H_

@@ -1,0 +1,55 @@
+#include "models/latent_diffusion.h"
+
+#include "common/logging.h"
+#include "data/split.h"
+
+namespace silofuse {
+
+Status LatentDiffSynthesizer::Fit(const Table& data, Rng* rng) {
+  if (data.num_rows() < 2) {
+    return Status::InvalidArgument("LatentDiff needs at least 2 rows");
+  }
+  // Step 1: train the autoencoder (stacked, Eq. 4).
+  SF_ASSIGN_OR_RETURN(autoencoder_,
+                      TabularAutoencoder::Create(data, config_.autoencoder, rng));
+  const double ae_loss = autoencoder_->Train(data, config_.autoencoder_steps,
+                                             config_.batch_size, rng);
+  SF_LOG(Debug) << name() << ": autoencoder loss " << ae_loss;
+
+  // Step 2: encode once, standardize, train the DDPM on latents (Eq. 5).
+  Matrix latents = autoencoder_->EncodeTable(data);
+  standardizer_.Fit(latents);
+  Matrix z0 = standardizer_.Transform(latents);
+
+  GaussianDdpmConfig ddpm_config = config_.diffusion;
+  ddpm_config.data_dim = z0.cols();
+  diffusion_ = std::make_unique<GaussianDdpm>(ddpm_config, rng);
+  double running = 0.0;
+  for (int s = 0; s < config_.diffusion_train_steps; ++s) {
+    const std::vector<int> idx = SampleBatchIndices(
+        z0.rows(), std::min(config_.batch_size, z0.rows()), rng);
+    running = 0.95 * running + 0.05 * diffusion_->TrainStep(z0.GatherRows(idx), rng);
+  }
+  SF_LOG(Debug) << name() << ": diffusion loss " << running;
+  return Status::OK();
+}
+
+Result<Matrix> LatentDiffSynthesizer::SampleLatents(int num_rows,
+                                                    int inference_steps,
+                                                    Rng* rng) {
+  if (diffusion_ == nullptr) {
+    return Status::FailedPrecondition("Fit must be called before sampling");
+  }
+  Matrix z = diffusion_->Sample(num_rows, inference_steps, rng,
+                                config_.sampling_eta);
+  return standardizer_.Inverse(z);
+}
+
+Result<Table> LatentDiffSynthesizer::Synthesize(int num_rows, Rng* rng) {
+  if (num_rows <= 0) return Status::InvalidArgument("num_rows must be > 0");
+  SF_ASSIGN_OR_RETURN(Matrix latents,
+                      SampleLatents(num_rows, config_.inference_steps, rng));
+  return autoencoder_->DecodeToTable(latents, rng, /*sample=*/true);
+}
+
+}  // namespace silofuse

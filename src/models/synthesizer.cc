@@ -1,0 +1,64 @@
+#include "models/synthesizer.h"
+
+#include <algorithm>
+
+#include "tensor/matrix_io.h"
+
+namespace silofuse {
+
+void LatentStandardizer::Fit(const Matrix& latents) {
+  SF_CHECK_GT(latents.rows(), 0);
+  mean_ = latents.ColMean();
+  std_ = latents.ColStd();
+  // Guard degenerate dimensions.
+  for (int c = 0; c < std_.cols(); ++c) {
+    if (std_.at(0, c) < 1e-6f) std_.at(0, c) = 1.0f;
+  }
+  fitted_ = true;
+}
+
+Matrix LatentStandardizer::Transform(const Matrix& latents) const {
+  SF_CHECK(fitted_);
+  SF_CHECK_EQ(latents.cols(), mean_.cols());
+  Matrix out = latents;
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.row_data(r);
+    for (int c = 0; c < out.cols(); ++c) {
+      float v = (row[c] - mean_.at(0, c)) / std_.at(0, c);
+      row[c] = std::max(-clip_, std::min(clip_, v));
+    }
+  }
+  return out;
+}
+
+Matrix LatentStandardizer::Inverse(const Matrix& latents) const {
+  SF_CHECK(fitted_);
+  SF_CHECK_EQ(latents.cols(), mean_.cols());
+  Matrix out = latents;
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.row_data(r);
+    for (int c = 0; c < out.cols(); ++c) {
+      row[c] = row[c] * std_.at(0, c) + mean_.at(0, c);
+    }
+  }
+  return out;
+}
+
+void LatentStandardizer::Save(BinaryWriter* writer) const {
+  writer->WriteString("latent_standardizer");
+  writer->WriteF32(clip_);
+  writer->WriteBool(fitted_);
+  SaveMatrix(writer, mean_);
+  SaveMatrix(writer, std_);
+}
+
+Status LatentStandardizer::Load(BinaryReader* reader) {
+  SF_RETURN_NOT_OK(reader->ExpectTag("latent_standardizer"));
+  SF_ASSIGN_OR_RETURN(clip_, reader->ReadF32());
+  SF_ASSIGN_OR_RETURN(fitted_, reader->ReadBool());
+  SF_ASSIGN_OR_RETURN(mean_, LoadMatrix(reader));
+  SF_ASSIGN_OR_RETURN(std_, LoadMatrix(reader));
+  return Status::OK();
+}
+
+}  // namespace silofuse

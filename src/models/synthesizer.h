@@ -1,0 +1,58 @@
+#ifndef SILOFUSE_MODELS_SYNTHESIZER_H_
+#define SILOFUSE_MODELS_SYNTHESIZER_H_
+
+#include <string>
+
+#include "common/archive.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace silofuse {
+
+/// Common interface of every tabular synthesizer in the benchmark
+/// (GAN(linear), GAN(conv), E2E, E2EDistr, TabDDPM, LatentDiff, SiloFuse).
+class Synthesizer {
+ public:
+  virtual ~Synthesizer() = default;
+
+  /// Trains the generative model on `data`.
+  virtual Status Fit(const Table& data, Rng* rng) = 0;
+
+  /// Generates `num_rows` synthetic rows. Requires a successful Fit.
+  virtual Result<Table> Synthesize(int num_rows, Rng* rng) = 0;
+
+  /// Model name as it appears in the paper's tables.
+  virtual std::string name() const = 0;
+};
+
+/// Per-dimension standardization of latent matrices. Latent diffusion is
+/// trained on zero-mean/unit-variance latents (otherwise the terminal
+/// N(0, I) of the reverse process does not match the data distribution);
+/// samples are de-standardized before decoding. Standardized values are
+/// winsorized to [-clip, clip]: autoencoder latents have heavy tails, and
+/// unbounded targets slow the eps-prediction MSE's convergence badly.
+class LatentStandardizer {
+ public:
+  explicit LatentStandardizer(float clip = 4.0f) : clip_(clip) {}
+
+  void Fit(const Matrix& latents);
+  Matrix Transform(const Matrix& latents) const;
+  Matrix Inverse(const Matrix& latents) const;
+  bool fitted() const { return fitted_; }
+  float clip() const { return clip_; }
+
+  /// Checkpoint support.
+  void Save(BinaryWriter* writer) const;
+  Status Load(BinaryReader* reader);
+
+ private:
+  float clip_;
+  bool fitted_ = false;
+  Matrix mean_;  // 1 x dim
+  Matrix std_;   // 1 x dim
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_MODELS_SYNTHESIZER_H_

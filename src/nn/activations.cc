@@ -1,0 +1,114 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace silofuse {
+namespace {
+
+constexpr float kGeluCoef = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluCubic = 0.044715f;
+
+}  // namespace
+
+float GeluScalar(float x) {
+  const float inner = kGeluCoef * (x + kGeluCubic * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float GeluGradScalar(float x) {
+  const float u = kGeluCoef * (x + kGeluCubic * x * x * x);
+  const float t = std::tanh(u);
+  const float du = kGeluCoef * (1.0f + 3.0f * kGeluCubic * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+}
+
+namespace {
+// Applies fn elementwise without std::function dispatch (hot path).
+template <typename Fn>
+Matrix ApplyFast(const Matrix& input, Fn fn) {
+  Matrix out = input;
+  float* v = out.data();
+  const size_t n = out.size();
+  for (size_t i = 0; i < n; ++i) v[i] = fn(v[i]);
+  return out;
+}
+}  // namespace
+
+Matrix Gelu::Forward(const Matrix& input, bool /*training*/) {
+  cached_input_ = input;
+  Matrix out = input;
+  float* v = out.data();
+  const size_t n = out.size();
+  for (size_t i = 0; i < n; ++i) v[i] = GeluScalar(v[i]);
+  return out;
+}
+
+Matrix Gelu::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  float* g = grad.data();
+  const float* x = cached_input_.data();
+  const size_t n = grad.size();
+  for (size_t i = 0; i < n; ++i) g[i] *= GeluGradScalar(x[i]);
+  return grad;
+}
+
+Matrix Relu::Forward(const Matrix& input, bool /*training*/) {
+  cached_input_ = input;
+  return ApplyFast(input, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Matrix Relu::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  float* g = grad.data();
+  const float* x = cached_input_.data();
+  for (size_t i = 0; i < grad.size(); ++i) g[i] = x[i] > 0.0f ? g[i] : 0.0f;
+  return grad;
+}
+
+Matrix LeakyRelu::Forward(const Matrix& input, bool /*training*/) {
+  cached_input_ = input;
+  const float slope = slope_;
+  return ApplyFast(input, [slope](float v) { return v > 0.0f ? v : slope * v; });
+}
+
+Matrix LeakyRelu::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  float* g = grad.data();
+  const float* x = cached_input_.data();
+  const float slope = slope_;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (x[i] <= 0.0f) g[i] *= slope;
+  }
+  return grad;
+}
+
+Matrix Tanh::Forward(const Matrix& input, bool /*training*/) {
+  cached_output_ = ApplyFast(input, [](float v) { return std::tanh(v); });
+  return cached_output_;
+}
+
+Matrix Tanh::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  float* g = grad.data();
+  const float* y = cached_output_.data();
+  for (size_t i = 0; i < grad.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+  return grad;
+}
+
+Matrix Sigmoid::Forward(const Matrix& input, bool /*training*/) {
+  cached_output_ = ApplyFast(input, [](float v) {
+    return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                     : std::exp(v) / (1.0f + std::exp(v));
+  });
+  return cached_output_;
+}
+
+Matrix Sigmoid::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  float* g = grad.data();
+  const float* y = cached_output_.data();
+  for (size_t i = 0; i < grad.size(); ++i) g[i] *= y[i] * (1.0f - y[i]);
+  return grad;
+}
+
+}  // namespace silofuse

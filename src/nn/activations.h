@@ -1,0 +1,65 @@
+#ifndef SILOFUSE_NN_ACTIVATIONS_H_
+#define SILOFUSE_NN_ACTIVATIONS_H_
+
+#include "nn/module.h"
+
+namespace silofuse {
+
+/// GELU with the tanh approximation (used by the paper's autoencoders and
+/// diffusion backbone).
+class Gelu : public Module {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix cached_input_;
+};
+
+class Relu : public Module {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix cached_input_;
+};
+
+/// Leaky ReLU (used by the GAN baselines).
+class LeakyRelu : public Module {
+ public:
+  explicit LeakyRelu(float negative_slope = 0.2f) : slope_(negative_slope) {}
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+ private:
+  float slope_;
+  Matrix cached_input_;
+};
+
+class Tanh : public Module {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix cached_output_;
+};
+
+class Sigmoid : public Module {
+ public:
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Elementwise GELU on a plain matrix (shared by module and tests).
+float GeluScalar(float x);
+float GeluGradScalar(float x);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_NN_ACTIVATIONS_H_

@@ -1,0 +1,35 @@
+#include "nn/dropout.h"
+
+namespace silofuse {
+
+Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng) {
+  SF_CHECK(p >= 0.0f && p < 1.0f);
+  SF_CHECK(rng != nullptr);
+}
+
+Matrix Dropout::Forward(const Matrix& input, bool training) {
+  last_training_ = training;
+  if (!training || p_ == 0.0f) return input;
+  const float keep = 1.0f - p_;
+  const float scale = 1.0f / keep;
+  // Raw engine draws: std::bernoulli_distribution would dominate the
+  // training profile at this call frequency.
+  auto& engine = rng_->engine();
+  const uint64_t threshold =
+      static_cast<uint64_t>(keep * static_cast<double>(UINT64_MAX));
+  mask_ = Matrix(input.rows(), input.cols());
+  for (int r = 0; r < input.rows(); ++r) {
+    float* m = mask_.row_data(r);
+    for (int c = 0; c < input.cols(); ++c) {
+      m[c] = engine() <= threshold ? scale : 0.0f;
+    }
+  }
+  return input.Mul(mask_);
+}
+
+Matrix Dropout::Backward(const Matrix& grad_output) {
+  if (!last_training_ || p_ == 0.0f) return grad_output;
+  return grad_output.Mul(mask_);
+}
+
+}  // namespace silofuse

@@ -1,0 +1,27 @@
+#ifndef SILOFUSE_NN_DROPOUT_H_
+#define SILOFUSE_NN_DROPOUT_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace silofuse {
+
+/// Inverted dropout: zeroes entries with probability p during training and
+/// rescales survivors by 1/(1-p); identity at inference.
+class Dropout : public Module {
+ public:
+  Dropout(float p, Rng* rng);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+
+ private:
+  float p_;
+  Rng* rng_;  // not owned
+  Matrix mask_;
+  bool last_training_ = false;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_NN_DROPOUT_H_

@@ -1,0 +1,80 @@
+#include "nn/layer_norm.h"
+
+#include <cmath>
+
+namespace silofuse {
+
+LayerNorm::LayerNorm(int features, float eps)
+    : features_(features), eps_(eps) {
+  SF_CHECK_GT(features, 0);
+  gamma_ = Parameter("gamma", Matrix(1, features, 1.0f));
+  beta_ = Parameter("beta", Matrix(1, features, 0.0f));
+}
+
+Matrix LayerNorm::Forward(const Matrix& input, bool /*training*/) {
+  SF_CHECK_EQ(input.cols(), features_);
+  const int rows = input.rows();
+  cached_xhat_ = Matrix(rows, features_);
+  cached_inv_std_.assign(rows, 0.0f);
+  Matrix out(rows, features_);
+  for (int r = 0; r < rows; ++r) {
+    const float* x = input.row_data(r);
+    double mean = 0.0;
+    for (int c = 0; c < features_; ++c) mean += x[c];
+    mean /= features_;
+    double var = 0.0;
+    for (int c = 0; c < features_; ++c) {
+      const double d = x[c] - mean;
+      var += d * d;
+    }
+    var /= features_;
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    cached_inv_std_[r] = inv_std;
+    float* xhat = cached_xhat_.row_data(r);
+    float* y = out.row_data(r);
+    const float* g = gamma_.value.data();
+    const float* b = beta_.value.data();
+    for (int c = 0; c < features_; ++c) {
+      xhat[c] = (x[c] - static_cast<float>(mean)) * inv_std;
+      y[c] = xhat[c] * g[c] + b[c];
+    }
+  }
+  return out;
+}
+
+Matrix LayerNorm::Backward(const Matrix& grad_output) {
+  SF_CHECK_EQ(grad_output.rows(), cached_xhat_.rows());
+  SF_CHECK_EQ(grad_output.cols(), features_);
+  const int rows = grad_output.rows();
+  Matrix grad_input(rows, features_);
+  float* dgamma = gamma_.grad.data();
+  float* dbeta = beta_.grad.data();
+  const float* g = gamma_.value.data();
+  for (int r = 0; r < rows; ++r) {
+    const float* dy = grad_output.row_data(r);
+    const float* xhat = cached_xhat_.row_data(r);
+    float* dx = grad_input.row_data(r);
+    double mean_dxhat = 0.0;
+    double mean_dxhat_xhat = 0.0;
+    for (int c = 0; c < features_; ++c) {
+      const float dxhat = dy[c] * g[c];
+      mean_dxhat += dxhat;
+      mean_dxhat_xhat += dxhat * xhat[c];
+      dgamma[c] += dy[c] * xhat[c];
+      dbeta[c] += dy[c];
+    }
+    mean_dxhat /= features_;
+    mean_dxhat_xhat /= features_;
+    const float inv_std = cached_inv_std_[r];
+    for (int c = 0; c < features_; ++c) {
+      const float dxhat = dy[c] * g[c];
+      dx[c] = inv_std * (dxhat - static_cast<float>(mean_dxhat) -
+                         xhat[c] * static_cast<float>(mean_dxhat_xhat));
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> LayerNorm::Parameters() { return {&gamma_, &beta_}; }
+
+}  // namespace silofuse

@@ -1,0 +1,42 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+namespace silofuse {
+
+Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features), has_bias_(bias) {
+  SF_CHECK_GT(in_features, 0);
+  SF_CHECK_GT(out_features, 0);
+  const float bound = 1.0f / std::sqrt(static_cast<float>(in_features));
+  weight_ = Parameter(
+      "weight", Matrix::RandomUniform(in_features, out_features, rng, -bound, bound));
+  if (has_bias_) {
+    bias_ = Parameter("bias",
+                      Matrix::RandomUniform(1, out_features, rng, -bound, bound));
+  }
+}
+
+Matrix Linear::Forward(const Matrix& input, bool /*training*/) {
+  SF_CHECK_EQ(input.cols(), in_features_);
+  cached_input_ = input;
+  Matrix out = input.MatMul(weight_.value);
+  if (has_bias_) out = out.AddRowBroadcast(bias_.value);
+  return out;
+}
+
+Matrix Linear::Backward(const Matrix& grad_output) {
+  SF_CHECK_EQ(grad_output.cols(), out_features_);
+  SF_CHECK_EQ(grad_output.rows(), cached_input_.rows());
+  // dW = x^T g ; db = sum_rows(g) ; dx = g W^T.
+  weight_.grad.AddInPlace(cached_input_.MatMulTransposedA(grad_output));
+  if (has_bias_) bias_.grad.AddInPlace(grad_output.ColSum());
+  return grad_output.MatMulTransposedB(weight_.value);
+}
+
+std::vector<Parameter*> Linear::Parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+}  // namespace silofuse

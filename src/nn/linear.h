@@ -1,0 +1,39 @@
+#ifndef SILOFUSE_NN_LINEAR_H_
+#define SILOFUSE_NN_LINEAR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace silofuse {
+
+/// Fully-connected layer: y = x W + b, with W of shape (in x out).
+///
+/// Weights use Kaiming-uniform initialization (fan-in scaled), matching the
+/// PyTorch default the paper's implementation would have used.
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng* rng, bool bias = true);
+
+  Matrix Forward(const Matrix& input, bool training) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  bool has_bias_;
+  Parameter weight_;  // (in x out)
+  Parameter bias_;    // (1 x out)
+  Matrix cached_input_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_NN_LINEAR_H_

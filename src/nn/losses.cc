@@ -1,0 +1,152 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace silofuse {
+
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  SF_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols());
+  const size_t n = pred.size();
+  SF_CHECK_GT(n, 0u);
+  *grad = Matrix(pred.rows(), pred.cols());
+  double loss = 0.0;
+  const float* p = pred.data();
+  const float* t = target.data();
+  float* g = grad->data();
+  const float scale = 2.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(p[i]) - t[i];
+    loss += d * d;
+    g[i] = scale * static_cast<float>(d);
+  }
+  return loss / static_cast<double>(n);
+}
+
+double BceWithLogitsLoss(const Matrix& logits, const Matrix& targets,
+                         Matrix* grad) {
+  SF_CHECK(logits.rows() == targets.rows() && logits.cols() == targets.cols());
+  const size_t n = logits.size();
+  SF_CHECK_GT(n, 0u);
+  *grad = Matrix(logits.rows(), logits.cols());
+  double loss = 0.0;
+  const float* x = logits.data();
+  const float* y = targets.data();
+  float* g = grad->data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    // loss = max(x,0) - x*y + log(1 + exp(-|x|)).
+    const double xv = x[i];
+    const double yv = y[i];
+    loss += std::max(xv, 0.0) - xv * yv + std::log1p(std::exp(-std::abs(xv)));
+    const double sig = 1.0 / (1.0 + std::exp(-xv));
+    g[i] = static_cast<float>((sig - yv)) * inv_n;
+  }
+  return loss / static_cast<double>(n);
+}
+
+Matrix SoftmaxRows(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (int r = 0; r < logits.rows(); ++r) {
+    const float* x = logits.row_data(r);
+    float* y = out.row_data(r);
+    float max_v = x[0];
+    for (int c = 1; c < logits.cols(); ++c) max_v = std::max(max_v, x[c]);
+    double sum = 0.0;
+    for (int c = 0; c < logits.cols(); ++c) {
+      y[c] = std::exp(x[c] - max_v);
+      sum += y[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int c = 0; c < logits.cols(); ++c) y[c] *= inv;
+  }
+  return out;
+}
+
+Matrix LogSoftmaxRows(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (int r = 0; r < logits.rows(); ++r) {
+    const float* x = logits.row_data(r);
+    float* y = out.row_data(r);
+    float max_v = x[0];
+    for (int c = 1; c < logits.cols(); ++c) max_v = std::max(max_v, x[c]);
+    double sum = 0.0;
+    for (int c = 0; c < logits.cols(); ++c) sum += std::exp(x[c] - max_v);
+    const float log_sum = max_v + static_cast<float>(std::log(sum));
+    for (int c = 0; c < logits.cols(); ++c) y[c] = x[c] - log_sum;
+  }
+  return out;
+}
+
+double SoftmaxCrossEntropyLoss(const Matrix& logits, const Matrix& targets,
+                               Matrix* grad) {
+  SF_CHECK(logits.rows() == targets.rows() && logits.cols() == targets.cols());
+  SF_CHECK_GT(logits.rows(), 0);
+  Matrix log_probs = LogSoftmaxRows(logits);
+  Matrix probs = log_probs.Apply([](float v) { return std::exp(v); });
+  double loss = 0.0;
+  for (int r = 0; r < logits.rows(); ++r) {
+    const float* lp = log_probs.row_data(r);
+    const float* t = targets.row_data(r);
+    for (int c = 0; c < logits.cols(); ++c) loss -= t[c] * lp[c];
+  }
+  loss /= logits.rows();
+  *grad = probs.Sub(targets);
+  grad->ScaleInPlace(1.0f / static_cast<float>(logits.rows()));
+  return loss;
+}
+
+double GaussianNllLoss(const Matrix& mean, const Matrix& logvar,
+                       const Matrix& target, Matrix* grad_mean,
+                       Matrix* grad_logvar) {
+  SF_CHECK(mean.rows() == target.rows() && mean.cols() == target.cols());
+  SF_CHECK(logvar.rows() == target.rows() && logvar.cols() == target.cols());
+  const size_t n = mean.size();
+  SF_CHECK_GT(n, 0u);
+  *grad_mean = Matrix(mean.rows(), mean.cols());
+  *grad_logvar = Matrix(mean.rows(), mean.cols());
+  double loss = 0.0;
+  const float* mu = mean.data();
+  const float* lv = logvar.data();
+  const float* t = target.data();
+  float* gm = grad_mean->data();
+  float* gl = grad_logvar->data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Clamp logvar to keep exp() sane during early training.
+    const double lvi = std::min(std::max(static_cast<double>(lv[i]), -10.0), 10.0);
+    const double inv_var = std::exp(-lvi);
+    const double d = static_cast<double>(mu[i]) - t[i];
+    loss += 0.5 * (lvi + d * d * inv_var);
+    gm[i] = static_cast<float>(d * inv_var) * inv_n;
+    gl[i] = static_cast<float>(0.5 * (1.0 - d * d * inv_var)) * inv_n;
+  }
+  return loss / static_cast<double>(n);
+}
+
+double KlStandardNormalLoss(const Matrix& mu, const Matrix& logvar,
+                            Matrix* grad_mu, Matrix* grad_logvar) {
+  SF_CHECK(mu.rows() == logvar.rows() && mu.cols() == logvar.cols());
+  const size_t n = mu.size();
+  SF_CHECK_GT(n, 0u);
+  *grad_mu = Matrix(mu.rows(), mu.cols());
+  *grad_logvar = Matrix(mu.rows(), mu.cols());
+  double loss = 0.0;
+  const float* m = mu.data();
+  const float* lv = logvar.data();
+  float* gm = grad_mu->data();
+  float* gl = grad_logvar->data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double lvi = std::min(std::max(static_cast<double>(lv[i]), -10.0), 10.0);
+    const double var = std::exp(lvi);
+    const double mi = m[i];
+    loss += 0.5 * (var + mi * mi - 1.0 - lvi);
+    gm[i] = static_cast<float>(mi) * inv_n;
+    gl[i] = static_cast<float>(0.5 * (var - 1.0)) * inv_n;
+  }
+  return loss / static_cast<double>(n);
+}
+
+}  // namespace silofuse

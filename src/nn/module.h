@@ -1,0 +1,69 @@
+#ifndef SILOFUSE_NN_MODULE_H_
+#define SILOFUSE_NN_MODULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace silofuse {
+
+/// A trainable tensor: value plus accumulated gradient of the loss w.r.t. it.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string n, Matrix v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+};
+
+/// Base class for differentiable layers.
+///
+/// The framework uses define-by-layer backpropagation rather than a taped
+/// autograd: each module caches whatever it needs during Forward and returns
+/// the gradient w.r.t. its input from Backward, accumulating parameter
+/// gradients as a side effect. A module instance therefore supports exactly
+/// one in-flight Forward/Backward pair (which is all the SiloFuse trainers
+/// need).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Computes the layer output. `training` toggles stochastic behaviour
+  /// (dropout); inference passes must use training=false.
+  virtual Matrix Forward(const Matrix& input, bool training) = 0;
+
+  /// Given dLoss/dOutput, accumulates dLoss/dParams into the parameter
+  /// grads and returns dLoss/dInput. Must follow a Forward call.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  /// Pointers to this module's trainable parameters (empty by default).
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+
+  /// Clears all parameter gradients.
+  void ZeroGrad() {
+    for (Parameter* p : Parameters()) p->grad.Fill(0.0f);
+  }
+
+  /// Total number of trainable scalars.
+  int64_t ParameterCount() {
+    int64_t count = 0;
+    for (Parameter* p : Parameters()) {
+      count += static_cast<int64_t>(p->value.size());
+    }
+    return count;
+  }
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_NN_MODULE_H_

@@ -1,0 +1,77 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace silofuse {
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double total = 0.0;
+  for (Parameter* p : params_) total += p->grad.SquaredNorm();
+  const double norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params_) p->grad.ScaleInPlace(scale);
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (momentum_ > 0.0f) {
+      velocity_[i].ScaleInPlace(momentum_);
+      velocity_[i].AddInPlace(p->grad);
+      p->value.Axpy(-lr_, velocity_[i]);
+    } else {
+      p->value.Axpy(-lr_, p->grad);
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  const float alpha = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* value = p->value.data();
+    const float* grad = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const size_t n = p->value.size();
+    for (size_t j = 0; j < n; ++j) {
+      float g = grad[j];
+      if (weight_decay_ > 0.0f) g += weight_decay_ * value[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      value[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps_);
+    }
+  }
+}
+
+}  // namespace silofuse

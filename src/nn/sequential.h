@@ -1,0 +1,65 @@
+#ifndef SILOFUSE_NN_SEQUENTIAL_H_
+#define SILOFUSE_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace silofuse {
+
+/// Chains modules; Forward applies them in order, Backward in reverse.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Appends a module; returns *this for fluent construction.
+  Sequential& Add(std::unique_ptr<Module> module) {
+    SF_CHECK(module != nullptr);
+    modules_.push_back(std::move(module));
+    return *this;
+  }
+
+  /// Convenience: constructs M in place.
+  template <typename M, typename... Args>
+  Sequential& Emplace(Args&&... args) {
+    modules_.push_back(std::make_unique<M>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  Matrix Forward(const Matrix& input, bool training) override {
+    Matrix x = input;
+    for (auto& m : modules_) x = m->Forward(x, training);
+    return x;
+  }
+
+  Matrix Backward(const Matrix& grad_output) override {
+    Matrix g = grad_output;
+    for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+      g = (*it)->Backward(g);
+    }
+    return g;
+  }
+
+  std::vector<Parameter*> Parameters() override {
+    std::vector<Parameter*> params;
+    for (auto& m : modules_) {
+      for (Parameter* p : m->Parameters()) params.push_back(p);
+    }
+    return params;
+  }
+
+  /// Removes all modules (used when a synthesizer is re-fit).
+  void Clear() { modules_.clear(); }
+
+  size_t size() const { return modules_.size(); }
+  Module* module(size_t i) { return modules_.at(i).get(); }
+
+ private:
+  std::vector<std::unique_ptr<Module>> modules_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_NN_SEQUENTIAL_H_

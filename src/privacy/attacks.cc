@@ -1,0 +1,269 @@
+#include "privacy/attacks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "privacy/neighbors.h"
+
+namespace silofuse {
+namespace {
+
+/// Per-column ranges of a table (0 for categoricals), for numeric
+/// tolerances.
+std::vector<double> ColumnRanges(const Table& table) {
+  std::vector<double> ranges(table.num_columns(), 0.0);
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (table.schema().column(c).is_categorical()) continue;
+    const auto& v = table.column_values(c);
+    const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    ranges[c] = std::max(1e-12, *hi - *lo);
+  }
+  return ranges;
+}
+
+/// True if real row `r` satisfies the predicate "matches `probe` row `p` on
+/// `columns` within tolerance".
+bool MatchesPredicate(const Table& real, int r, const Table& probe, int p,
+                      const std::vector<int>& columns,
+                      const std::vector<double>& ranges, double tolerance) {
+  for (int c : columns) {
+    if (real.schema().column(c).is_categorical()) {
+      if (real.code(r, c) != probe.code(p, c)) return false;
+    } else {
+      if (std::abs(real.value(r, c) - probe.value(p, c)) >
+          tolerance * ranges[c]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Counts real records matching the predicate, early-exiting past 1.
+int CountMatches(const Table& real, const Table& probe, int p,
+                 const std::vector<int>& columns,
+                 const std::vector<double>& ranges, double tolerance) {
+  int count = 0;
+  for (int r = 0; r < real.num_rows(); ++r) {
+    if (MatchesPredicate(real, r, probe, p, columns, ranges, tolerance)) {
+      if (++count > 1) return count;
+    }
+  }
+  return count;
+}
+
+/// A "random guess" probe table: each column sampled independently from the
+/// synthetic marginals, destroying inter-column structure.
+Table MarginalShuffle(const Table& synth, int rows, Rng* rng) {
+  Table probe(synth.schema());
+  std::vector<double> row(synth.num_columns());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < synth.num_columns(); ++c) {
+      const int src = static_cast<int>(rng->UniformInt(0, synth.num_rows() - 1));
+      row[c] = synth.value(src, c);
+    }
+    SF_CHECK(probe.AppendRow(row).ok());
+  }
+  return probe;
+}
+
+}  // namespace
+
+AttackResult NormalizeAttack(double attack_rate, double baseline_rate) {
+  AttackResult out;
+  out.attack_rate = attack_rate;
+  out.baseline_rate = baseline_rate;
+  const double denom = std::max(1e-9, 1.0 - baseline_rate);
+  out.risk = std::max(0.0, std::min(1.0, (attack_rate - baseline_rate) / denom));
+  out.score = 100.0 * (1.0 - out.risk);
+  return out;
+}
+
+AttackResult SinglingOutAttack(const Table& real, const Table& synth,
+                               const PrivacyConfig& config, Rng* rng) {
+  SF_CHECK(real.schema() == synth.schema());
+  const std::vector<double> ranges = ColumnRanges(real);
+  const int attacks = std::min(config.num_attacks, synth.num_rows());
+  const int width = std::min(config.predicate_width, real.num_columns());
+  Table baseline_probe = MarginalShuffle(synth, attacks, rng);
+
+  int attack_hits = 0;
+  int baseline_hits = 0;
+  for (int a = 0; a < attacks; ++a) {
+    const int p = static_cast<int>(rng->UniformInt(0, synth.num_rows() - 1));
+    const std::vector<int> columns =
+        rng->SampleWithoutReplacement(real.num_columns(), width);
+    if (CountMatches(real, synth, p, columns, ranges,
+                     config.singling_out_tolerance) == 1) {
+      ++attack_hits;
+    }
+    if (CountMatches(real, baseline_probe, a, columns, ranges,
+                     config.singling_out_tolerance) == 1) {
+      ++baseline_hits;
+    }
+  }
+  return NormalizeAttack(static_cast<double>(attack_hits) / attacks,
+                         static_cast<double>(baseline_hits) / attacks);
+}
+
+AttackResult LinkabilityAttack(const Table& real, const Table& synth,
+                               const PrivacyConfig& config, Rng* rng,
+                               std::vector<int> columns_a,
+                               std::vector<int> columns_b) {
+  SF_CHECK(real.schema() == synth.schema());
+  const int d = real.num_columns();
+  SF_CHECK_GE(d, 2);
+  if (columns_a.empty() && columns_b.empty()) {
+    // Default adversary split interleaves columns so both halves carry
+    // identifying (numeric) signal; a contiguous split can hand one party
+    // only low-cardinality categoricals, whose massive distance ties make
+    // linking impossible even for leaked copies.
+    for (int c = 0; c < d; ++c) {
+      (c % 2 == 0 ? columns_a : columns_b).push_back(c);
+    }
+  }
+  SF_CHECK(!columns_a.empty() && !columns_b.empty());
+  MixedDistance metric(synth);
+  const int attacks = std::min(config.num_attacks, real.num_rows());
+  const int k = config.k_neighbors;
+
+  int attack_hits = 0;
+  int baseline_hits = 0;
+  for (int a = 0; a < attacks; ++a) {
+    const int target = static_cast<int>(rng->UniformInt(0, real.num_rows() - 1));
+    const std::vector<int> nn_a =
+        metric.KNearest(real, target, synth, columns_a, k);
+    const std::vector<int> nn_b =
+        metric.KNearest(real, target, synth, columns_b, k);
+    bool linked = false;
+    for (int i : nn_a) {
+      if (std::find(nn_b.begin(), nn_b.end(), i) != nn_b.end()) {
+        linked = true;
+        break;
+      }
+    }
+    if (linked) ++attack_hits;
+    // Baseline: random neighbor sets of the same size.
+    const std::vector<int> rand_a =
+        rng->SampleWithoutReplacement(synth.num_rows(), std::min(k, synth.num_rows()));
+    const std::vector<int> rand_b =
+        rng->SampleWithoutReplacement(synth.num_rows(), std::min(k, synth.num_rows()));
+    bool rand_linked = false;
+    for (int i : rand_a) {
+      if (std::find(rand_b.begin(), rand_b.end(), i) != rand_b.end()) {
+        rand_linked = true;
+        break;
+      }
+    }
+    if (rand_linked) ++baseline_hits;
+  }
+  return NormalizeAttack(static_cast<double>(attack_hits) / attacks,
+                         static_cast<double>(baseline_hits) / attacks);
+}
+
+AttackResult AttributeInferenceAttack(const Table& real, const Table& synth,
+                                      int secret_column,
+                                      const PrivacyConfig& config, Rng* rng) {
+  SF_CHECK(real.schema() == synth.schema());
+  SF_CHECK(secret_column >= 0 && secret_column < real.num_columns());
+  std::vector<int> known_columns;
+  for (int c = 0; c < real.num_columns(); ++c) {
+    if (c != secret_column) known_columns.push_back(c);
+  }
+  SF_CHECK(!known_columns.empty());
+  MixedDistance metric(synth);
+  const std::vector<double> ranges = ColumnRanges(real);
+  const bool categorical =
+      real.schema().column(secret_column).is_categorical();
+  const int attacks = std::min(config.num_attacks, real.num_rows());
+
+  auto hit = [&](double predicted, double truth) {
+    if (categorical) {
+      return std::lround(predicted) == std::lround(truth);
+    }
+    return std::abs(predicted - truth) <=
+           config.numeric_tolerance * ranges[secret_column];
+  };
+
+  int attack_hits = 0;
+  int baseline_hits = 0;
+  for (int a = 0; a < attacks; ++a) {
+    const int target = static_cast<int>(rng->UniformInt(0, real.num_rows() - 1));
+    const int nn = metric.Nearest(real, target, synth, known_columns);
+    if (hit(synth.value(nn, secret_column), real.value(target, secret_column))) {
+      ++attack_hits;
+    }
+    // Baseline: guess from the synthetic marginal.
+    const int r = static_cast<int>(rng->UniformInt(0, synth.num_rows() - 1));
+    if (hit(synth.value(r, secret_column), real.value(target, secret_column))) {
+      ++baseline_hits;
+    }
+  }
+  return NormalizeAttack(static_cast<double>(attack_hits) / attacks,
+                         static_cast<double>(baseline_hits) / attacks);
+}
+
+DcrResult DistanceToClosestRecord(const Table& real, const Table& synth,
+                                  const PrivacyConfig& config, Rng* rng) {
+  SF_CHECK(real.schema() == synth.schema());
+  SF_CHECK_GT(real.num_rows(), 1);
+  SF_CHECK_GT(synth.num_rows(), 0);
+  MixedDistance metric(real);
+  std::vector<int> all_columns;
+  for (int c = 0; c < real.num_columns(); ++c) all_columns.push_back(c);
+
+  auto median_of = [](std::vector<double>* v) {
+    SF_CHECK(!v->empty());
+    std::sort(v->begin(), v->end());
+    return (*v)[v->size() / 2];
+  };
+
+  const int samples = std::min(config.num_attacks, synth.num_rows());
+  std::vector<double> synth_dcr;
+  synth_dcr.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    const int q = static_cast<int>(rng->UniformInt(0, synth.num_rows() - 1));
+    const int nn = metric.Nearest(synth, q, real, all_columns);
+    synth_dcr.push_back(metric.Distance(synth, q, real, nn, all_columns));
+  }
+
+  const int real_samples = std::min(config.num_attacks, real.num_rows());
+  std::vector<double> real_nn;
+  real_nn.reserve(real_samples);
+  for (int i = 0; i < real_samples; ++i) {
+    const int q = static_cast<int>(rng->UniformInt(0, real.num_rows() - 1));
+    double best = 2.0;  // distances are <= 1
+    for (int r = 0; r < real.num_rows(); ++r) {
+      if (r == q) continue;  // leave-self-out
+      best = std::min(best, metric.Distance(real, q, real, r, all_columns));
+    }
+    real_nn.push_back(best);
+  }
+
+  DcrResult out;
+  out.median_synthetic = median_of(&synth_dcr);
+  out.median_real = median_of(&real_nn);
+  out.ratio = out.median_synthetic / std::max(1e-9, out.median_real);
+  return out;
+}
+
+Result<PrivacyBreakdown> ComputePrivacy(const Table& real, const Table& synth,
+                                        const PrivacyConfig& config, Rng* rng) {
+  if (!(real.schema() == synth.schema())) {
+    return Status::InvalidArgument("real/synthetic schema mismatch");
+  }
+  if (real.num_rows() < 10 || synth.num_rows() < 10) {
+    return Status::InvalidArgument("need at least 10 rows per table");
+  }
+  PrivacyBreakdown out;
+  out.singling_out = SinglingOutAttack(real, synth, config, rng);
+  out.linkability = LinkabilityAttack(real, synth, config, rng);
+  out.attribute_inference = AttributeInferenceAttack(
+      real, synth, real.num_columns() - 1, config, rng);
+  out.overall = (out.singling_out.score + out.linkability.score +
+                 out.attribute_inference.score) /
+                3.0;
+  return out;
+}
+
+}  // namespace silofuse

@@ -1,0 +1,91 @@
+#ifndef SILOFUSE_PRIVACY_ATTACKS_H_
+#define SILOFUSE_PRIVACY_ATTACKS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/table.h"
+
+namespace silofuse {
+
+/// Knobs shared by the three attacks of Section V-B/V-F.
+struct PrivacyConfig {
+  /// Number of attack queries per attack.
+  int num_attacks = 200;
+  /// Neighbor count for the linkability adversary.
+  int k_neighbors = 3;
+  /// Numeric "hit" tolerance as a fraction of the column range (attribute
+  /// inference).
+  double numeric_tolerance = 0.05;
+  /// Attributes used by the singling-out predicate.
+  int predicate_width = 3;
+  /// Numeric tolerance of the singling-out predicate. Much tighter than
+  /// numeric_tolerance: uniqueness predicates must pin records down, or
+  /// every probe matches a neighbourhood and the attack loses its signal.
+  double singling_out_tolerance = 0.005;
+};
+
+/// Outcome of one attack, baseline-corrected as in Giomi et al.: the
+/// normalized excess success of the adversary over random guessing.
+struct AttackResult {
+  double attack_rate = 0.0;    // adversary success probability
+  double baseline_rate = 0.0;  // random-guess success probability
+  double risk = 0.0;           // max(0, (attack-baseline)/(1-baseline))
+  double score = 0.0;          // 100 * (1 - risk); higher = more private
+};
+
+/// Fills risk/score from the raw rates.
+AttackResult NormalizeAttack(double attack_rate, double baseline_rate);
+
+/// Singling-out: predicates built from synthetic records that isolate
+/// exactly one record of the real training data (Section V-B, attack 1).
+AttackResult SinglingOutAttack(const Table& real, const Table& synth,
+                               const PrivacyConfig& config, Rng* rng);
+
+/// Linkability: the adversary holds two disjoint attribute subsets of real
+/// records (the cross-silo split) and uses nearest neighbors in the shared
+/// synthetic data to re-link them (attack 2). `columns_a`/`columns_b`
+/// default to the first/second half of the schema when empty.
+AttackResult LinkabilityAttack(const Table& real, const Table& synth,
+                               const PrivacyConfig& config, Rng* rng,
+                               std::vector<int> columns_a = {},
+                               std::vector<int> columns_b = {});
+
+/// Attribute inference: the adversary knows every attribute of a real
+/// record except `secret_column` and predicts it from the nearest synthetic
+/// neighbor (attack 3).
+AttackResult AttributeInferenceAttack(const Table& real, const Table& synth,
+                                      int secret_column,
+                                      const PrivacyConfig& config, Rng* rng);
+
+/// The composite privacy score of Table VI: mean of the three attacks'
+/// scores (secret column for attribute inference defaults to the last
+/// column).
+struct PrivacyBreakdown {
+  AttackResult singling_out;
+  AttackResult linkability;
+  AttackResult attribute_inference;
+  double overall = 0.0;
+};
+
+Result<PrivacyBreakdown> ComputePrivacy(const Table& real, const Table& synth,
+                                        const PrivacyConfig& config, Rng* rng);
+
+/// Distance-to-closest-record diagnostic: for each synthetic row (sampled up
+/// to `config.num_attacks`), the Gower distance to its nearest real training
+/// record. A median near 0 indicates memorized/copied records; healthy
+/// synthesis sits clearly above the real data's own nearest-neighbor
+/// distance. Complements the three attacks as a quick leak screen.
+struct DcrResult {
+  double median_synthetic = 0.0;  // median DCR of synthetic rows
+  double median_real = 0.0;       // median leave-self-out NN distance of real
+  /// ratio = median_synthetic / max(median_real, tiny); < 1 warns of copying.
+  double ratio = 0.0;
+};
+DcrResult DistanceToClosestRecord(const Table& real, const Table& synth,
+                                  const PrivacyConfig& config, Rng* rng);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_PRIVACY_ATTACKS_H_

@@ -1,0 +1,68 @@
+#include "privacy/neighbors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace silofuse {
+
+MixedDistance::MixedDistance(const Table& reference)
+    : schema_(reference.schema()) {
+  ranges_.resize(schema_.num_columns(), 0.0);
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    if (schema_.column(c).is_categorical()) continue;
+    const auto& values = reference.column_values(c);
+    if (values.empty()) continue;
+    const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+    ranges_[c] = std::max(1e-12, *hi - *lo);
+  }
+}
+
+double MixedDistance::Distance(const Table& ta, int a, const Table& tb, int b,
+                               const std::vector<int>& columns) const {
+  SF_CHECK(!columns.empty());
+  double acc = 0.0;
+  for (int c : columns) {
+    if (schema_.column(c).is_categorical()) {
+      acc += (ta.code(a, c) == tb.code(b, c)) ? 0.0 : 1.0;
+    } else {
+      const double d = std::abs(ta.value(a, c) - tb.value(b, c)) / ranges_[c];
+      acc += std::min(1.0, d);
+    }
+  }
+  return acc / columns.size();
+}
+
+int MixedDistance::Nearest(const Table& needle_table, int q,
+                           const Table& haystack,
+                           const std::vector<int>& columns) const {
+  SF_CHECK_GT(haystack.num_rows(), 0);
+  int best = 0;
+  double best_d = Distance(needle_table, q, haystack, 0, columns);
+  for (int r = 1; r < haystack.num_rows(); ++r) {
+    const double d = Distance(needle_table, q, haystack, r, columns);
+    if (d < best_d) {
+      best_d = d;
+      best = r;
+    }
+  }
+  return best;
+}
+
+std::vector<int> MixedDistance::KNearest(const Table& needle_table, int q,
+                                         const Table& haystack,
+                                         const std::vector<int>& columns,
+                                         int k) const {
+  SF_CHECK_GT(haystack.num_rows(), 0);
+  k = std::min(k, haystack.num_rows());
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(haystack.num_rows());
+  for (int r = 0; r < haystack.num_rows(); ++r) {
+    dist.emplace_back(Distance(needle_table, q, haystack, r, columns), r);
+  }
+  std::partial_sort(dist.begin(), dist.begin() + k, dist.end());
+  std::vector<int> out(k);
+  for (int i = 0; i < k; ++i) out[i] = dist[i].second;
+  return out;
+}
+
+}  // namespace silofuse

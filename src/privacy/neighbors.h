@@ -1,0 +1,44 @@
+#ifndef SILOFUSE_PRIVACY_NEIGHBORS_H_
+#define SILOFUSE_PRIVACY_NEIGHBORS_H_
+
+#include <vector>
+
+#include "data/table.h"
+
+namespace silofuse {
+
+/// Gower-style mixed-type distance helper: numeric columns contribute
+/// |a-b| / range (ranges fitted on a reference table), categorical columns
+/// contribute 0/1 mismatch; the distance is the mean contribution over the
+/// selected columns. This is the adversary's similarity notion in the
+/// linkability and attribute-inference attacks.
+class MixedDistance {
+ public:
+  /// Fits per-column ranges on `reference` (typically the synthetic table).
+  explicit MixedDistance(const Table& reference);
+
+  /// Distance between row `a` of `ta` and row `b` of `tb`, over `columns`
+  /// (indices into the shared schema).
+  double Distance(const Table& ta, int a, const Table& tb, int b,
+                  const std::vector<int>& columns) const;
+
+  /// Index of the nearest row of `haystack` to row `q` of `needle_table`,
+  /// comparing only `columns`.
+  int Nearest(const Table& needle_table, int q, const Table& haystack,
+              const std::vector<int>& columns) const;
+
+  /// Indices of the k nearest rows (ascending distance).
+  std::vector<int> KNearest(const Table& needle_table, int q,
+                            const Table& haystack,
+                            const std::vector<int>& columns, int k) const;
+
+  double column_range(int c) const { return ranges_.at(c); }
+
+ private:
+  Schema schema_;
+  std::vector<double> ranges_;  // per column; 0 for categorical
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_PRIVACY_NEIGHBORS_H_

@@ -1,0 +1,375 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace silofuse {
+
+Matrix Matrix::FromVector(int rows, int cols, std::vector<float> values) {
+  SF_CHECK_EQ(static_cast<size_t>(rows) * cols, values.size());
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(values);
+  return m;
+}
+
+Matrix Matrix::RandomNormal(int rows, int cols, Rng* rng, float mean,
+                            float stddev) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) {
+    v = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return m;
+}
+
+Matrix Matrix::RandomUniform(int rows, int cols, Rng* rng, float lo, float hi) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) {
+    v = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.at(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    const float* src = row_data(r);
+    for (int c = 0; c < cols_; ++c) {
+      out.data_[static_cast<size_t>(c) * rows_ + r] = src[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SliceRows(int start, int count) const {
+  SF_CHECK(start >= 0 && count >= 0 && start + count <= rows_);
+  Matrix out(count, cols_);
+  std::copy(data_.begin() + static_cast<size_t>(start) * cols_,
+            data_.begin() + static_cast<size_t>(start + count) * cols_,
+            out.data_.begin());
+  return out;
+}
+
+Matrix Matrix::SliceCols(int start, int count) const {
+  SF_CHECK(start >= 0 && count >= 0 && start + count <= cols_);
+  Matrix out(rows_, count);
+  for (int r = 0; r < rows_; ++r) {
+    const float* src = row_data(r) + start;
+    std::copy(src, src + count, out.row_data(r));
+  }
+  return out;
+}
+
+Matrix Matrix::GatherRows(const std::vector<int>& indices) const {
+  Matrix out(static_cast<int>(indices.size()), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int r = indices[i];
+    SF_CHECK(r >= 0 && r < rows_);
+    std::copy(row_data(r), row_data(r) + cols_, out.row_data(static_cast<int>(i)));
+  }
+  return out;
+}
+
+Matrix Matrix::GatherCols(const std::vector<int>& indices) const {
+  Matrix out(rows_, static_cast<int>(indices.size()));
+  for (int r = 0; r < rows_; ++r) {
+    const float* src = row_data(r);
+    float* dst = out.row_data(r);
+    for (size_t j = 0; j < indices.size(); ++j) {
+      int c = indices[j];
+      SF_CHECK(c >= 0 && c < cols_);
+      dst[j] = src[c];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatCols(const std::vector<Matrix>& parts) {
+  SF_CHECK(!parts.empty());
+  int rows = parts[0].rows();
+  int total_cols = 0;
+  for (const Matrix& p : parts) {
+    SF_CHECK_EQ(p.rows(), rows);
+    total_cols += p.cols();
+  }
+  Matrix out(rows, total_cols);
+  for (int r = 0; r < rows; ++r) {
+    float* dst = out.row_data(r);
+    for (const Matrix& p : parts) {
+      const float* src = p.row_data(r);
+      std::copy(src, src + p.cols(), dst);
+      dst += p.cols();
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::ConcatRows(const std::vector<Matrix>& parts) {
+  SF_CHECK(!parts.empty());
+  int cols = parts[0].cols();
+  int total_rows = 0;
+  for (const Matrix& p : parts) {
+    SF_CHECK_EQ(p.cols(), cols);
+    total_rows += p.rows();
+  }
+  Matrix out(total_rows, cols);
+  int row = 0;
+  for (const Matrix& p : parts) {
+    std::copy(p.data_.begin(), p.data_.end(), out.row_data(row));
+    row += p.rows();
+  }
+  return out;
+}
+
+namespace {
+
+void CheckSameShape(const Matrix& a, const Matrix& b) {
+  SF_CHECK(a.rows() == b.rows() && a.cols() == b.cols())
+      << "shape mismatch:" << a.ToString() << "vs" << b.ToString();
+}
+
+}  // namespace
+
+Matrix Matrix::Add(const Matrix& other) const {
+  CheckSameShape(*this, other);
+  Matrix out = *this;
+  out.AddInPlace(other);
+  return out;
+}
+
+Matrix Matrix::Sub(const Matrix& other) const {
+  CheckSameShape(*this, other);
+  Matrix out = *this;
+  out.SubInPlace(other);
+  return out;
+}
+
+Matrix Matrix::Mul(const Matrix& other) const {
+  CheckSameShape(*this, other);
+  Matrix out = *this;
+  out.MulInPlace(other);
+  return out;
+}
+
+Matrix Matrix::Scale(float scalar) const {
+  Matrix out = *this;
+  out.ScaleInPlace(scalar);
+  return out;
+}
+
+Matrix Matrix::AddScalar(float scalar) const {
+  Matrix out = *this;
+  for (float& v : out.data_) v += scalar;
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  CheckSameShape(*this, other);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::SubInPlace(const Matrix& other) {
+  CheckSameShape(*this, other);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::MulInPlace(const Matrix& other) {
+  CheckSameShape(*this, other);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Matrix::ScaleInPlace(float scalar) {
+  for (float& v : data_) v *= scalar;
+}
+
+void Matrix::Axpy(float scalar, const Matrix& other) {
+  CheckSameShape(*this, other);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scalar * other.data_[i];
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
+  SF_CHECK_EQ(row.rows(), 1);
+  SF_CHECK_EQ(row.cols(), cols_);
+  Matrix out = *this;
+  for (int r = 0; r < rows_; ++r) {
+    float* dst = out.row_data(r);
+    const float* src = row.data();
+    for (int c = 0; c < cols_; ++c) dst[c] += src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::MulRowBroadcast(const Matrix& row) const {
+  SF_CHECK_EQ(row.rows(), 1);
+  SF_CHECK_EQ(row.cols(), cols_);
+  Matrix out = *this;
+  for (int r = 0; r < rows_; ++r) {
+    float* dst = out.row_data(r);
+    const float* src = row.data();
+    for (int c = 0; c < cols_; ++c) dst[c] *= src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::Apply(const std::function<float(float)>& fn) const {
+  Matrix out = *this;
+  for (float& v : out.data_) v = fn(v);
+  return out;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  SF_CHECK_EQ(cols_, other.rows());
+  Matrix out(rows_, other.cols());
+  const int k_dim = cols_;
+  const int n_dim = other.cols();
+  // i-k-j loop order: the inner loop streams contiguous rows of `other`
+  // and `out`, which vectorizes well (keep it branch-free).
+  for (int i = 0; i < rows_; ++i) {
+    const float* a_row = row_data(i);
+    float* c_row = out.row_data(i);
+    for (int k = 0; k < k_dim; ++k) {
+      const float a = a_row[k];
+      const float* b_row = other.row_data(k);
+      for (int j = 0; j < n_dim; ++j) c_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposedA(const Matrix& other) const {
+  // this: (k x m), other: (k x n) -> out: (m x n) = this^T * other.
+  // Materializing the transpose is cheap next to the GEMM and keeps the
+  // inner loop contiguous/vectorizable.
+  SF_CHECK_EQ(rows_, other.rows());
+  return Transpose().MatMul(other);
+}
+
+Matrix Matrix::MatMulTransposedB(const Matrix& other) const {
+  // this: (m x k), other: (n x k) -> out: (m x n) = this * other^T.
+  SF_CHECK_EQ(cols_, other.cols());
+  return MatMul(other.Transpose());
+}
+
+double Matrix::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+double Matrix::Mean() const {
+  SF_CHECK(!data_.empty());
+  return Sum() / static_cast<double>(data_.size());
+}
+
+float Matrix::Min() const {
+  SF_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Matrix::Max() const {
+  SF_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+Matrix Matrix::ColSum() const {
+  Matrix out(1, cols_);
+  std::vector<double> acc(cols_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const float* src = row_data(r);
+    for (int c = 0; c < cols_; ++c) acc[c] += src[c];
+  }
+  for (int c = 0; c < cols_; ++c) out.at(0, c) = static_cast<float>(acc[c]);
+  return out;
+}
+
+Matrix Matrix::ColMean() const {
+  SF_CHECK_GT(rows_, 0);
+  Matrix out = ColSum();
+  out.ScaleInPlace(1.0f / static_cast<float>(rows_));
+  return out;
+}
+
+Matrix Matrix::ColStd() const {
+  SF_CHECK_GT(rows_, 0);
+  Matrix mean = ColMean();
+  std::vector<double> acc(cols_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const float* src = row_data(r);
+    for (int c = 0; c < cols_; ++c) {
+      double d = src[c] - mean.at(0, c);
+      acc[c] += d * d;
+    }
+  }
+  Matrix out(1, cols_);
+  for (int c = 0; c < cols_; ++c) {
+    out.at(0, c) = static_cast<float>(std::sqrt(acc[c] / rows_));
+  }
+  return out;
+}
+
+Matrix Matrix::RowSum() const {
+  Matrix out(rows_, 1);
+  for (int r = 0; r < rows_; ++r) {
+    const float* src = row_data(r);
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) acc += src[c];
+    out.at(r, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+double Matrix::SquaredNorm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+int Matrix::RowArgMax(int r) const {
+  SF_CHECK(r >= 0 && r < rows_);
+  SF_CHECK_GT(cols_, 0);
+  const float* src = row_data(r);
+  int best = 0;
+  for (int c = 1; c < cols_; ++c) {
+    if (src[c] > src[best]) best = c;
+  }
+  return best;
+}
+
+bool Matrix::AllFinite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(bool with_values) const {
+  std::ostringstream out;
+  out << "Matrix(" << rows_ << "x" << cols_ << ")";
+  if (with_values && rows_ <= 8 && cols_ <= 8) {
+    out << " [";
+    for (int r = 0; r < rows_; ++r) {
+      out << (r == 0 ? "[" : ", [");
+      for (int c = 0; c < cols_; ++c) {
+        if (c > 0) out << ", ";
+        out << at(r, c);
+      }
+      out << "]";
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+}  // namespace silofuse

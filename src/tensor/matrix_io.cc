@@ -1,0 +1,27 @@
+#include "tensor/matrix_io.h"
+
+#include <vector>
+
+namespace silofuse {
+
+void SaveMatrix(BinaryWriter* writer, const Matrix& matrix) {
+  writer->WriteI32(matrix.rows());
+  writer->WriteI32(matrix.cols());
+  std::vector<float> values(matrix.data(), matrix.data() + matrix.size());
+  writer->WriteFloatVector(values);
+}
+
+Result<Matrix> LoadMatrix(BinaryReader* reader) {
+  SF_ASSIGN_OR_RETURN(int32_t rows, reader->ReadI32());
+  SF_ASSIGN_OR_RETURN(int32_t cols, reader->ReadI32());
+  if (rows < 0 || cols < 0) {
+    return Status::IOError("corrupt matrix shape in archive");
+  }
+  SF_ASSIGN_OR_RETURN(std::vector<float> values, reader->ReadFloatVector());
+  if (values.size() != static_cast<size_t>(rows) * cols) {
+    return Status::IOError("matrix payload size mismatch in archive");
+  }
+  return Matrix::FromVector(rows, cols, std::move(values));
+}
+
+}  // namespace silofuse

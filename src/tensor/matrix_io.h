@@ -1,0 +1,17 @@
+#ifndef SILOFUSE_TENSOR_MATRIX_IO_H_
+#define SILOFUSE_TENSOR_MATRIX_IO_H_
+
+#include "common/archive.h"
+#include "tensor/matrix.h"
+
+namespace silofuse {
+
+/// Serializes shape + row-major payload.
+void SaveMatrix(BinaryWriter* writer, const Matrix& matrix);
+
+/// Inverse of SaveMatrix; validates shape bounds.
+Result<Matrix> LoadMatrix(BinaryReader* reader);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_TENSOR_MATRIX_IO_H_

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace silofuse {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad column");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad column");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad column");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    SF_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.Value(), 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto producer = []() -> Result<int> { return 5; };
+  auto failer = []() -> Result<int> { return Status::Internal("x"); };
+  auto ok_path = [&]() -> Result<int> {
+    SF_ASSIGN_OR_RETURN(int v, producer());
+    return v + 1;
+  };
+  auto err_path = [&]() -> Result<int> {
+    SF_ASSIGN_OR_RETURN(int v, failer());
+    return v + 1;
+  };
+  EXPECT_EQ(ok_path().Value(), 6);
+  EXPECT_FALSE(err_path().ok());
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+    EXPECT_DOUBLE_EQ(a.Normal(), b.Normal());
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(2);
+  std::vector<double> weights = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.Categorical(weights), 1);
+}
+
+TEST(RngTest, CategoricalFrequencies) {
+  Rng rng(3);
+  std::vector<double> weights = {1.0, 3.0};
+  int count1 = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) count1 += rng.Categorical(weights);
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.04);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(4);
+  std::vector<int> perm = rng.Permutation(50);
+  std::vector<bool> seen(50, false);
+  for (int v : perm) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 50);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(5);
+  std::vector<int> sample = rng.SampleWithoutReplacement(20, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(std::unique(sample.begin(), sample.end()), sample.end());
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(6);
+  Rng child = a.Fork();
+  // Child stream differs from the parent's continued stream.
+  EXPECT_NE(child.Uniform(), a.Uniform());
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ","), "x,y,z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  hello\t\n"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, ToLowerAscii) { EXPECT_EQ(ToLower("AbC1"), "abc1"); }
+
+TEST(StringUtilTest, FormatDoubleDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-1.0, 0), "-1");
+}
+
+TEST(StringUtilTest, ParseDoubleAcceptsValid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble(" 2.5 ", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsInvalid) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.2x", &v));
+  EXPECT_FALSE(ParseDouble("nan", &v));
+  EXPECT_FALSE(ParseDouble("inf", &v));
+}
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(prev);
+}
+
+}  // namespace
+}  // namespace silofuse

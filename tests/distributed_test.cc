@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "distributed/channel.h"
+#include "distributed/client.h"
+#include "distributed/coordinator.h"
+#include "distributed/partition.h"
+
+namespace silofuse {
+namespace {
+
+TEST(ChannelTest, RecordsBytesMessagesRounds) {
+  Channel channel;
+  Matrix m(10, 4);
+  channel.BeginRound();
+  const int64_t bytes = channel.SendMatrix("client_0", "coordinator", m, "latents");
+  EXPECT_EQ(bytes, MatrixWireBytes(m));
+  channel.Send("coordinator", "client_0", 100, "misc");
+  EXPECT_EQ(channel.total_bytes(), bytes + 100);
+  EXPECT_EQ(channel.message_count(), 2);
+  EXPECT_EQ(channel.rounds(), 1);
+  EXPECT_EQ(channel.bytes_with_tag("latents"), bytes);
+  EXPECT_EQ(channel.bytes_with_tag("misc"), 100);
+  EXPECT_EQ(channel.bytes_with_tag("unknown"), 0);
+}
+
+TEST(ChannelTest, MatrixWireBytesScalesWithPayload) {
+  Matrix small(1, 1);
+  Matrix big(100, 100);
+  EXPECT_LT(MatrixWireBytes(small), MatrixWireBytes(big));
+  EXPECT_EQ(MatrixWireBytes(big) - MatrixWireBytes(small),
+            static_cast<int64_t>((100 * 100 - 1) * sizeof(float)));
+}
+
+TEST(ChannelTest, ResetClearsEverything) {
+  Channel channel;
+  channel.BeginRound();
+  channel.Send("a", "b", 10, "x");
+  channel.Reset();
+  EXPECT_EQ(channel.total_bytes(), 0);
+  EXPECT_EQ(channel.message_count(), 0);
+  EXPECT_EQ(channel.rounds(), 0);
+}
+
+TEST(ChannelTest, SummaryMentionsTags) {
+  Channel channel;
+  channel.Send("a", "b", 10, "latents");
+  EXPECT_NE(channel.Summary().find("latents"), std::string::npos);
+}
+
+TEST(PartitionTest, EqualSplitWithRemainderToLast) {
+  PartitionConfig config;
+  config.num_clients = 4;
+  auto parts = PartitionColumns(14, config).Value();
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].size(), 3u);
+  EXPECT_EQ(parts[1].size(), 3u);
+  EXPECT_EQ(parts[2].size(), 3u);
+  EXPECT_EQ(parts[3].size(), 5u);  // remainder
+  // Default is contiguous in schema order.
+  EXPECT_EQ(parts[0], (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(parts[3], (std::vector<int>{9, 10, 11, 12, 13}));
+}
+
+TEST(PartitionTest, RejectsTooManyClients) {
+  PartitionConfig config;
+  config.num_clients = 5;
+  EXPECT_FALSE(PartitionColumns(4, config).ok());
+  config.num_clients = 0;
+  EXPECT_FALSE(PartitionColumns(4, config).ok());
+}
+
+TEST(PartitionTest, PermutedIsSeededPermutation) {
+  PartitionConfig config;
+  config.num_clients = 3;
+  config.permute = true;
+  config.permute_seed = 12343;
+  auto a = PartitionColumns(9, config).Value();
+  auto b = PartitionColumns(9, config).Value();
+  EXPECT_EQ(a, b);  // deterministic
+  // Covers all columns exactly once.
+  std::vector<int> flat;
+  for (const auto& p : a) flat.insert(flat.end(), p.begin(), p.end());
+  std::sort(flat.begin(), flat.end());
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(flat[i], i);
+  // Differs from the unshuffled order with overwhelming probability.
+  config.permute = false;
+  auto plain = PartitionColumns(9, config).Value();
+  EXPECT_NE(a, plain);
+}
+
+// Sweep over client counts and permutation flags: partition must always be
+// a cover of the column set with non-empty parts.
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(PartitionSweep, CoversAllColumnsNonEmpty) {
+  PartitionConfig config;
+  config.num_clients = std::get<0>(GetParam());
+  config.permute = std::get<1>(GetParam());
+  const int columns = 24;
+  auto parts = PartitionColumns(columns, config).Value();
+  ASSERT_EQ(static_cast<int>(parts.size()), config.num_clients);
+  std::vector<bool> seen(columns, false);
+  for (const auto& p : parts) {
+    EXPECT_FALSE(p.empty());
+    for (int c : p) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, columns);
+      EXPECT_FALSE(seen[c]);
+      seen[c] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClientsByPermutation, PartitionSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Bool()));
+
+TEST(PartitionTest, PartitionTableAndReassembleRoundTrip) {
+  Table t(Schema({ColumnSpec::Numeric("a"), ColumnSpec::Numeric("b"),
+                  ColumnSpec::Categorical("c", 2),
+                  ColumnSpec::Numeric("d")}));
+  ASSERT_TRUE(t.AppendRow({1, 2, 0, 4}).ok());
+  ASSERT_TRUE(t.AppendRow({5, 6, 1, 8}).ok());
+  PartitionConfig config;
+  config.num_clients = 2;
+  config.permute = true;
+  config.permute_seed = 7;
+  auto partition = PartitionColumns(t.num_columns(), config).Value();
+  auto parts = PartitionTable(t, config).Value();
+  auto restored = ReassembleColumns(parts, partition);
+  ASSERT_TRUE(restored.ok());
+  for (int r = 0; r < t.num_rows(); ++r) {
+    for (int c = 0; c < t.num_columns(); ++c) {
+      EXPECT_DOUBLE_EQ(restored.Value().value(r, c), t.value(r, c));
+      EXPECT_EQ(restored.Value().schema().column(c).name,
+                t.schema().column(c).name);
+    }
+  }
+}
+
+TEST(PartitionTest, ReassembleRejectsBadPartition) {
+  Table t(Schema({ColumnSpec::Numeric("a"), ColumnSpec::Numeric("b")}));
+  ASSERT_TRUE(t.AppendRow({1, 2}).ok());
+  auto parts = std::vector<Table>{t.SelectColumns({0}), t.SelectColumns({1})};
+  EXPECT_FALSE(ReassembleColumns(parts, {{0}, {0}}).ok());  // not a permutation
+  EXPECT_FALSE(ReassembleColumns(parts, {{0}}).ok());       // size mismatch
+}
+
+TEST(SiloClientTest, EncodeDecodeShapes) {
+  Rng rng(1);
+  Table t(Schema({ColumnSpec::Numeric("x"), ColumnSpec::Categorical("c", 3)}));
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(t.AppendRow({rng.Normal(), static_cast<double>(i % 3)}).ok());
+  }
+  AutoencoderConfig config;
+  config.hidden_dim = 16;
+  auto client = SiloClient::Create(2, t, config, &rng).Value();
+  EXPECT_EQ(client->id(), 2);
+  EXPECT_EQ(client->party_name(), "client_2");
+  EXPECT_EQ(client->latent_dim(), 2);  // defaults to column count
+  client->TrainAutoencoder(60, 32, &rng);
+  Matrix z = client->ComputeLatents();
+  EXPECT_EQ(z.rows(), 120);
+  EXPECT_EQ(z.cols(), 2);
+  Table decoded = client->Decode(z, &rng, /*sample=*/false);
+  EXPECT_EQ(decoded.num_rows(), 120);
+  EXPECT_TRUE(decoded.schema() == t.schema());
+}
+
+TEST(SiloClientTest, RejectsEmptyFeatureSet) {
+  Rng rng(2);
+  Table empty{Schema{}};
+  AutoencoderConfig config;
+  EXPECT_FALSE(SiloClient::Create(0, empty, config, &rng).ok());
+}
+
+TEST(CoordinatorTest, TrainAndSampleLatents) {
+  Rng rng(3);
+  GaussianDdpmConfig config;
+  config.hidden_dim = 32;
+  config.num_layers = 3;
+  config.dropout = 0.0f;
+  Coordinator coordinator(config);
+  EXPECT_FALSE(coordinator.trained());
+  EXPECT_FALSE(coordinator.SampleLatents(10, 5, 1.0, &rng).ok());
+  Matrix latents = Matrix::RandomNormal(300, 4, &rng, 2.0f, 3.0f);
+  ASSERT_TRUE(coordinator.TrainOnLatents(latents, 200, 64, &rng).ok());
+  EXPECT_TRUE(coordinator.trained());
+  auto samples = coordinator.SampleLatents(500, 15, 1.0, &rng);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples.Value().rows(), 500);
+  EXPECT_EQ(samples.Value().cols(), 4);
+  // De-standardization restores the training scale.
+  EXPECT_NEAR(samples.Value().Mean(), 2.0, 0.8);
+}
+
+TEST(CoordinatorTest, RejectsTinyLatentSets) {
+  Rng rng(4);
+  GaussianDdpmConfig config;
+  Coordinator coordinator(config);
+  Matrix one_row(1, 3);
+  EXPECT_FALSE(coordinator.TrainOnLatents(one_row, 10, 8, &rng).ok());
+}
+
+}  // namespace
+}  // namespace silofuse

@@ -1,0 +1,71 @@
+#include "metrics/distribution_report.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators/paper_datasets.h"
+#include "privacy/attacks.h"
+
+namespace silofuse {
+namespace {
+
+TEST(DistributionReportTest, RendersEveryColumn) {
+  Table real = GeneratePaperDataset("loan", 300, 1).Value();
+  Table synth = GeneratePaperDataset("loan", 300, 2).Value();
+  auto report = RenderDistributionReport(real, synth);
+  ASSERT_TRUE(report.ok());
+  for (int c = 0; c < real.num_columns(); ++c) {
+    EXPECT_NE(report.Value().find(real.schema().column(c).name),
+              std::string::npos)
+        << "column " << c << " missing from report";
+  }
+  EXPECT_NE(report.Value().find("JS distance"), std::string::npos);
+}
+
+TEST(DistributionReportTest, RejectsSchemaMismatch) {
+  Table a = GeneratePaperDataset("loan", 100, 1).Value();
+  Table b = GeneratePaperDataset("adult", 100, 1).Value();
+  EXPECT_FALSE(RenderDistributionReport(a, b).ok());
+}
+
+TEST(DistributionReportTest, RejectsBadOptions) {
+  Table t = GeneratePaperDataset("loan", 100, 1).Value();
+  DistributionReportOptions options;
+  options.bins = 1;
+  EXPECT_FALSE(RenderDistributionReport(t, t, options).ok());
+}
+
+TEST(DistributionReportTest, CapsWideTables) {
+  Table t = GeneratePaperDataset("cover", 120, 1).Value();  // 55 columns
+  DistributionReportOptions options;
+  options.max_columns = 5;
+  auto report = RenderDistributionReport(t, t, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report.Value().find("50 more columns omitted"), std::string::npos);
+}
+
+TEST(DcrTest, LeakedCopyHasNearZeroDcr) {
+  Table real = GeneratePaperDataset("loan", 300, 3).Value();
+  PrivacyConfig config;
+  config.num_attacks = 100;
+  Rng rng(4);
+  DcrResult leaked = DistanceToClosestRecord(real, real, config, &rng);
+  EXPECT_NEAR(leaked.median_synthetic, 0.0, 1e-9);
+  EXPECT_GT(leaked.median_real, 0.0);
+  EXPECT_LT(leaked.ratio, 0.1);
+}
+
+TEST(DcrTest, IndependentSampleHasHealthyRatio) {
+  Table real = GeneratePaperDataset("loan", 300, 5).Value();
+  Table fresh = GeneratePaperDataset("loan", 300, 6).Value();
+  PrivacyConfig config;
+  config.num_attacks = 100;
+  Rng rng(7);
+  DcrResult result = DistanceToClosestRecord(real, fresh, config, &rng);
+  EXPECT_GT(result.median_synthetic, 0.0);
+  // Fresh draws from the same distribution sit at or above the real data's
+  // own nearest-neighbor distance scale.
+  EXPECT_GT(result.ratio, 0.5);
+}
+
+}  // namespace
+}  // namespace silofuse

@@ -1,0 +1,139 @@
+// Deeper tests of the end-to-end baselines (E2E, E2EDistr): joint-loss
+// behaviour, communication accounting growth, and consistency between the
+// centralized and distributed formulations.
+
+#include <gtest/gtest.h>
+
+#include "data/generators/paper_datasets.h"
+#include "data/split.h"
+#include "distributed/e2e_distributed.h"
+#include "models/e2e.h"
+
+namespace silofuse {
+namespace {
+
+LatentDiffusionConfig TinyConfig() {
+  LatentDiffusionConfig config;
+  config.autoencoder.hidden_dim = 32;
+  config.autoencoder_steps = 60;
+  config.diffusion_train_steps = 100;
+  config.batch_size = 48;
+  config.diffusion.hidden_dim = 32;
+  config.diffusion.num_layers = 3;
+  return config;
+}
+
+TEST(E2ETest, JointLossesDecreaseOverTraining) {
+  Rng rng(1);
+  Table data = GeneratePaperDataset("loan", 300, 1).Value();
+  LatentDiffusionConfig config = TinyConfig();
+  config.autoencoder_steps = 10;  // Fit only initializes + warm-starts;
+  config.diffusion_train_steps = 10;  // the loop below does the measuring
+  E2ESynthesizer model(config);
+  ASSERT_TRUE(model.Fit(data, &rng).ok());
+  MixedEncoder encoder;  // same standard scaling as the model's internal one
+  ASSERT_TRUE(encoder.Fit(data).ok());
+  Matrix all = encoder.Encode(data);
+  double early_recon = 0.0, late_recon = 0.0;
+  double early_diff = 0.0, late_diff = 0.0;
+  const int steps = 400;
+  for (int s = 0; s < steps; ++s) {
+    const std::vector<int> idx = SampleBatchIndices(all.rows(), 48, &rng);
+    auto [recon, diffusion] = model.TrainStep(all.GatherRows(idx), &rng);
+    if (s < 30) {
+      early_recon += recon / 30;
+      early_diff += diffusion / 30;
+    }
+    if (s >= steps - 30) {
+      late_recon += recon / 30;
+      late_diff += diffusion / 30;
+    }
+  }
+  // Both joint-loss components improve. The diffusion MSE is measured in
+  // the (unanchored) latent scale, so only relative progress is asserted.
+  EXPECT_LT(late_recon, early_recon);
+  EXPECT_LT(late_diff, early_diff);
+}
+
+TEST(E2EDistrTest, CommunicationGrowsLinearlyWithIterations) {
+  Rng rng(2);
+  Table data = GeneratePaperDataset("loan", 250, 2).Value();
+  PartitionConfig partition;
+  partition.num_clients = 2;
+  LatentDiffusionConfig short_config = TinyConfig();
+  short_config.autoencoder_steps = 20;
+  short_config.diffusion_train_steps = 20;
+  LatentDiffusionConfig long_config = TinyConfig();
+  long_config.autoencoder_steps = 40;
+  long_config.diffusion_train_steps = 40;
+
+  E2EDistrSynthesizer short_run(short_config, partition);
+  E2EDistrSynthesizer long_run(long_config, partition);
+  Rng rng2 = rng;
+  ASSERT_TRUE(short_run.Fit(data, &rng).ok());
+  ASSERT_TRUE(long_run.Fit(data, &rng2).ok());
+  const int64_t short_bytes = short_run.channel().total_bytes();
+  const int64_t long_bytes = long_run.channel().total_bytes();
+  // Twice the iterations -> twice the training traffic.
+  EXPECT_NEAR(static_cast<double>(long_bytes) / short_bytes, 2.0, 0.1);
+}
+
+TEST(E2EDistrTest, EveryIterationIsOneRound) {
+  Rng rng(3);
+  Table data = GeneratePaperDataset("loan", 250, 3).Value();
+  PartitionConfig partition;
+  partition.num_clients = 3;
+  LatentDiffusionConfig config = TinyConfig();
+  config.autoencoder_steps = 15;
+  config.diffusion_train_steps = 15;
+  E2EDistrSynthesizer model(config, partition);
+  ASSERT_TRUE(model.Fit(data, &rng).ok());
+  EXPECT_EQ(model.channel().rounds(), 30);
+  // Four message categories per round per client: activations up, denoised
+  // down, head grads up, latent grads down.
+  EXPECT_EQ(model.channel().message_count(), 30 * 3 * 4);
+}
+
+TEST(E2EDistrTest, PerRoundBytesMatchPayloadArithmetic) {
+  Rng rng(4);
+  Table data = GeneratePaperDataset("loan", 250, 4).Value();
+  PartitionConfig partition;
+  partition.num_clients = 2;
+  LatentDiffusionConfig config = TinyConfig();
+  config.autoencoder_steps = 5;
+  config.diffusion_train_steps = 5;
+  config.batch_size = 48;
+  E2EDistrSynthesizer model(config, partition);
+  ASSERT_TRUE(model.Fit(data, &rng).ok());
+  // loan has 13 columns -> latent dims 6 + 7 = 13. Four transfers of a
+  // (48 x s_i) float matrix per client per round, plus 32-byte headers.
+  const int64_t expected =
+      4 * (48 * 13 * static_cast<int64_t>(sizeof(float)) + 2 * 32);
+  EXPECT_EQ(model.bytes_per_training_round(), expected);
+}
+
+TEST(E2EDistrTest, SynthesisShipsOnlyLatentSlices) {
+  Rng rng(5);
+  Table data = GeneratePaperDataset("loan", 250, 5).Value();
+  PartitionConfig partition;
+  partition.num_clients = 2;
+  E2EDistrSynthesizer model(TinyConfig(), partition);
+  ASSERT_TRUE(model.Fit(data, &rng).ok());
+  const int64_t before = model.channel().bytes_with_tag("synthetic_latents");
+  ASSERT_TRUE(model.Synthesize(40, &rng).ok());
+  const int64_t after = model.channel().bytes_with_tag("synthetic_latents");
+  EXPECT_EQ(after - before,
+            40 * 13 * static_cast<int64_t>(sizeof(float)) + 2 * 32);
+}
+
+TEST(E2EDistrTest, FitRejectsMoreClientsThanColumns) {
+  Rng rng(6);
+  Table data = GeneratePaperDataset("loan", 100, 6).Value();  // 13 columns
+  PartitionConfig partition;
+  partition.num_clients = 14;
+  E2EDistrSynthesizer model(TinyConfig(), partition);
+  EXPECT_FALSE(model.Fit(data, &rng).ok());
+}
+
+}  // namespace
+}  // namespace silofuse

@@ -1,0 +1,173 @@
+#include "ml/gbt.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/eval.h"
+
+namespace silofuse {
+namespace {
+
+TEST(GbtTest, RejectsEmptyAndMismatchedInput) {
+  Rng rng(1);
+  GbtConfig config;
+  EXPECT_FALSE(GbtModel::Train(Matrix(), {}, GbtTask::kRegression, 1, config,
+                               &rng)
+                   .ok());
+  Matrix x(3, 1, 1.0f);
+  EXPECT_FALSE(
+      GbtModel::Train(x, {1.0, 2.0}, GbtTask::kRegression, 1, config, &rng)
+          .ok());
+}
+
+TEST(GbtTest, RejectsOutOfRangeLabels) {
+  Rng rng(2);
+  Matrix x(4, 1, 1.0f);
+  GbtConfig config;
+  EXPECT_FALSE(
+      GbtModel::Train(x, {0.0, 1.0, 2.0, 0.0}, GbtTask::kBinary, 2, config,
+                      &rng)
+          .ok());
+}
+
+TEST(GbtTest, RegressionFitsNonlinearFunction) {
+  Rng rng(3);
+  const int n = 600;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int r = 0; r < n; ++r) {
+    x.at(r, 0) = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    x.at(r, 1) = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    y[r] = x.at(r, 0) * x.at(r, 0) + 0.5 * x.at(r, 1);
+  }
+  GbtConfig config;
+  config.num_trees = 60;
+  auto model =
+      GbtModel::Train(x, y, GbtTask::kRegression, 1, config, &rng);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> pred = model.Value().PredictValue(x);
+  EXPECT_GT(D2AbsoluteErrorScore(y, pred), 0.8);
+}
+
+TEST(GbtTest, BinaryClassificationXor) {
+  Rng rng(4);
+  const int n = 800;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int r = 0; r < n; ++r) {
+    x.at(r, 0) = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    x.at(r, 1) = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    y[r] = (x.at(r, 0) > 0) != (x.at(r, 1) > 0) ? 1.0 : 0.0;
+  }
+  GbtConfig config;
+  config.num_trees = 40;
+  auto model = GbtModel::Train(x, y, GbtTask::kBinary, 2, config, &rng);
+  ASSERT_TRUE(model.ok());
+  std::vector<int> pred = model.Value().PredictClass(x);
+  std::vector<int> truth(n);
+  for (int r = 0; r < n; ++r) truth[r] = static_cast<int>(y[r]);
+  EXPECT_GT(Accuracy(truth, pred), 0.9);
+}
+
+TEST(GbtTest, BinaryProbabilitiesAreCalibratedProbabilities) {
+  Rng rng(5);
+  Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (int r = 0; r < 200; ++r) {
+    x.at(r, 0) = static_cast<float>(r % 2);
+    y[r] = r % 2;
+  }
+  GbtConfig config;
+  auto model = GbtModel::Train(x, y, GbtTask::kBinary, 2, config, &rng);
+  ASSERT_TRUE(model.ok());
+  Matrix proba = model.Value().PredictProba(x);
+  for (int r = 0; r < 200; ++r) {
+    EXPECT_NEAR(proba.at(r, 0) + proba.at(r, 1), 1.0, 1e-5);
+    EXPECT_GT(proba.at(r, static_cast<int>(y[r])), 0.8);
+  }
+}
+
+TEST(GbtTest, MulticlassSeparatesThreeClusters) {
+  Rng rng(6);
+  const int n = 600;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int r = 0; r < n; ++r) {
+    const int k = r % 3;
+    y[r] = k;
+    x.at(r, 0) = static_cast<float>(rng.Normal(3.0 * k, 0.5));
+    x.at(r, 1) = static_cast<float>(rng.Normal(-2.0 * k, 0.5));
+  }
+  GbtConfig config;
+  config.num_trees = 25;
+  auto model = GbtModel::Train(x, y, GbtTask::kMulticlass, 3, config, &rng);
+  ASSERT_TRUE(model.ok());
+  std::vector<int> pred = model.Value().PredictClass(x);
+  std::vector<int> truth(n);
+  for (int r = 0; r < n; ++r) truth[r] = static_cast<int>(y[r]);
+  EXPECT_GT(MacroF1(truth, pred, 3), 0.95);
+  EXPECT_EQ(model.Value().tree_count(), 25 * 3);
+}
+
+TEST(GbtTest, ConstantTargetPredictsConstant) {
+  Rng rng(7);
+  Matrix x = Matrix::RandomNormal(100, 3, &rng);
+  std::vector<double> y(100, 4.2);
+  GbtConfig config;
+  auto model =
+      GbtModel::Train(x, y, GbtTask::kRegression, 1, config, &rng);
+  ASSERT_TRUE(model.ok());
+  for (double p : model.Value().PredictValue(x)) EXPECT_NEAR(p, 4.2, 1e-3);
+}
+
+TEST(GbtTest, TreePredictTraversesSplits) {
+  GbtTree tree;
+  tree.nodes.resize(3);
+  tree.nodes[0].feature = 0;
+  tree.nodes[0].threshold = 0.5f;
+  tree.nodes[0].left = 1;
+  tree.nodes[0].right = 2;
+  tree.nodes[1].value = -1.0f;
+  tree.nodes[2].value = 2.0f;
+  const float low[] = {0.0f};
+  const float high[] = {1.0f};
+  EXPECT_EQ(tree.Predict(low), -1.0f);
+  EXPECT_EQ(tree.Predict(high), 2.0f);
+}
+
+TEST(EvalTest, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1}, {1, 0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0, 1, 0}, {1, 1, 1, 1}), 0.5);
+}
+
+TEST(EvalTest, MacroF1PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 2}, {0, 1, 2}, 3), 1.0);
+  EXPECT_DOUBLE_EQ(MacroF1({0, 0, 0}, {1, 1, 1}, 2), 0.0);
+}
+
+TEST(EvalTest, MacroF1SkipsAbsentClasses) {
+  // Class 2 never appears in truth or prediction; macro average over the
+  // observed classes only.
+  const double f1 = MacroF1({0, 1, 0, 1}, {0, 1, 1, 1}, 3);
+  // class0: P=1, R=.5 -> F1=2/3; class1: P=2/3, R=1 -> F1=0.8.
+  EXPECT_NEAR(f1, (2.0 / 3.0 + 0.8) / 2.0, 1e-9);
+}
+
+TEST(EvalTest, D2ScoreBaselineIsZero) {
+  std::vector<double> y = {1.0, 2.0, 3.0, 4.0, 100.0};
+  std::vector<double> median_pred(y.size(), 3.0);
+  EXPECT_NEAR(D2AbsoluteErrorScore(y, median_pred), 0.0, 1e-9);
+}
+
+TEST(EvalTest, D2ScorePerfectIsOne) {
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(D2AbsoluteErrorScore(y, y), 1.0);
+}
+
+TEST(EvalTest, MeanAbsoluteError) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1.0, 2.0}, {2.0, 0.0}), 1.5);
+}
+
+}  // namespace
+}  // namespace silofuse

@@ -1,0 +1,115 @@
+#include "data/mixed_encoder.h"
+
+#include <gtest/gtest.h>
+
+namespace silofuse {
+namespace {
+
+Table SmallTable() {
+  Table t(Schema({ColumnSpec::Categorical("c1", 3), ColumnSpec::Numeric("x"),
+                  ColumnSpec::Categorical("c2", 2)}));
+  SF_CHECK(t.AppendRow({0, 1.0, 1}).ok());
+  SF_CHECK(t.AppendRow({2, 3.0, 0}).ok());
+  SF_CHECK(t.AppendRow({1, 5.0, 1}).ok());
+  return t;
+}
+
+TEST(MixedEncoderTest, LayoutAndWidth) {
+  MixedEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(SmallTable()).ok());
+  EXPECT_EQ(encoder.encoded_width(), 3 + 1 + 2);
+  ASSERT_EQ(encoder.spans().size(), 3u);
+  EXPECT_TRUE(encoder.spans()[0].categorical);
+  EXPECT_EQ(encoder.spans()[0].offset, 0);
+  EXPECT_EQ(encoder.spans()[0].width, 3);
+  EXPECT_FALSE(encoder.spans()[1].categorical);
+  EXPECT_EQ(encoder.spans()[1].offset, 3);
+  EXPECT_EQ(encoder.spans()[2].offset, 4);
+}
+
+TEST(MixedEncoderTest, OneHotIsExactlyOneHot) {
+  MixedEncoder encoder;
+  Table t = SmallTable();
+  ASSERT_TRUE(encoder.Fit(t).ok());
+  Matrix m = encoder.Encode(t);
+  for (int r = 0; r < t.num_rows(); ++r) {
+    float sum = 0.0f;
+    for (int k = 0; k < 3; ++k) sum += m.at(r, k);
+    EXPECT_EQ(sum, 1.0f);
+    EXPECT_EQ(m.at(r, t.code(r, 0)), 1.0f);
+  }
+}
+
+TEST(MixedEncoderTest, FitOnEmptyTableFails) {
+  MixedEncoder encoder;
+  Table empty(Schema({ColumnSpec::Numeric("x")}));
+  EXPECT_FALSE(encoder.Fit(empty).ok());
+}
+
+TEST(MixedEncoderTest, DecodeArgmaxPicksLargestLogit) {
+  MixedEncoder encoder;
+  Table t = SmallTable();
+  ASSERT_TRUE(encoder.Fit(t).ok());
+  Matrix features(1, encoder.encoded_width());
+  features.at(0, 0) = 0.1f;
+  features.at(0, 1) = 2.0f;  // winner for c1
+  features.at(0, 2) = 0.3f;
+  features.at(0, 3) = 0.0f;  // standard-scaled x = 0 -> mean
+  features.at(0, 4) = -1.0f;
+  features.at(0, 5) = 3.0f;  // winner for c2
+  Table decoded = encoder.Decode(features);
+  EXPECT_EQ(decoded.code(0, 0), 1);
+  EXPECT_EQ(decoded.code(0, 2), 1);
+  EXPECT_NEAR(decoded.value(0, 1), 3.0, 1e-5);  // mean of {1,3,5}
+}
+
+TEST(MixedEncoderTest, DecodeSampledRespectsDominantLogit) {
+  MixedEncoder encoder;
+  Table t = SmallTable();
+  ASSERT_TRUE(encoder.Fit(t).ok());
+  Matrix features(1, encoder.encoded_width());
+  features.at(0, 1) = 50.0f;  // overwhelming logit
+  features.at(0, 5) = 50.0f;
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    Table decoded = encoder.DecodeSampled(features, &rng);
+    EXPECT_EQ(decoded.code(0, 0), 1);
+    EXPECT_EQ(decoded.code(0, 2), 1);
+  }
+}
+
+TEST(MixedEncoderTest, DecodeProbabilitiesSamplesProportionally) {
+  MixedEncoder encoder;
+  Table t = SmallTable();
+  ASSERT_TRUE(encoder.Fit(t).ok());
+  Matrix features(1, encoder.encoded_width());
+  features.at(0, 0) = 0.0f;
+  features.at(0, 1) = 0.0f;
+  features.at(0, 2) = 1.0f;  // certain category 2
+  features.at(0, 4) = 1.0f;  // certain category 0 for c2
+  Rng rng(2);
+  Table decoded = encoder.DecodeProbabilities(features, &rng);
+  EXPECT_EQ(decoded.code(0, 0), 2);
+  EXPECT_EQ(decoded.code(0, 2), 0);
+}
+
+TEST(MixedEncoderTest, DecodeProbabilitiesHandlesAllZeroSpan) {
+  MixedEncoder encoder;
+  Table t = SmallTable();
+  ASSERT_TRUE(encoder.Fit(t).ok());
+  Matrix features(1, encoder.encoded_width());  // all zeros
+  Rng rng(3);
+  Table decoded = encoder.DecodeProbabilities(features, &rng);
+  EXPECT_TRUE(decoded.Validate().ok());
+}
+
+TEST(MixedEncoderTest, EncodeChecksSchema) {
+  MixedEncoder encoder;
+  ASSERT_TRUE(encoder.Fit(SmallTable()).ok());
+  Table other(Schema({ColumnSpec::Numeric("y")}));
+  ASSERT_TRUE(other.AppendRow({1.0}).ok());
+  EXPECT_DEATH(encoder.Encode(other), "schema mismatch");
+}
+
+}  // namespace
+}  // namespace silofuse

@@ -1,0 +1,176 @@
+#include "diffusion/multinomial_ddpm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/losses.h"
+
+namespace silofuse {
+namespace {
+
+Matrix OneHotRow(int k, int categories) {
+  Matrix m(1, categories);
+  m.at(0, k) = 1.0f;
+  return m;
+}
+
+TEST(MultinomialDiffusionTest, MarginalRowsSumToOne) {
+  VarianceSchedule schedule(100);
+  MultinomialDiffusion diff(&schedule, 5);
+  Matrix x0 = OneHotRow(2, 5);
+  for (int t : {1, 50, 100}) {
+    Matrix probs = diff.QXtGivenX0(x0, {t});
+    double sum = 0.0;
+    for (int k = 0; k < 5; ++k) {
+      EXPECT_GE(probs.at(0, k), 0.0f);
+      sum += probs.at(0, k);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(MultinomialDiffusionTest, EarlyTimestepKeepsCategory) {
+  VarianceSchedule schedule(100);
+  MultinomialDiffusion diff(&schedule, 4);
+  Matrix probs = diff.QXtGivenX0(OneHotRow(1, 4), {1});
+  // At t=1 almost all mass stays on the original category.
+  EXPECT_GT(probs.at(0, 1), 0.95f);
+}
+
+TEST(MultinomialDiffusionTest, TerminalTimestepNearUniform) {
+  VarianceSchedule schedule(100);
+  MultinomialDiffusion diff(&schedule, 4);
+  Matrix probs = diff.QXtGivenX0(OneHotRow(1, 4), {100});
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(probs.at(0, k), 0.25, 0.05);
+  }
+}
+
+TEST(MultinomialDiffusionTest, SampleOneHotIsOneHot) {
+  VarianceSchedule schedule(50);
+  MultinomialDiffusion diff(&schedule, 6);
+  Rng rng(1);
+  Matrix probs(10, 6, 1.0f / 6.0f);
+  Matrix sample = diff.SampleOneHot(probs, &rng);
+  for (int r = 0; r < 10; ++r) {
+    float sum = 0.0f;
+    int ones = 0;
+    for (int k = 0; k < 6; ++k) {
+      sum += sample.at(r, k);
+      if (sample.at(r, k) == 1.0f) ++ones;
+    }
+    EXPECT_EQ(sum, 1.0f);
+    EXPECT_EQ(ones, 1);
+  }
+}
+
+TEST(MultinomialDiffusionTest, PosteriorRowsNormalized) {
+  VarianceSchedule schedule(100);
+  MultinomialDiffusion diff(&schedule, 5);
+  Rng rng(2);
+  Matrix x_t = OneHotRow(3, 5);
+  Matrix x0_dist(1, 5, 0.2f);
+  for (int t : {2, 50, 100}) {
+    Matrix post = diff.Posterior(x_t, x0_dist, {t});
+    double sum = 0.0;
+    for (int k = 0; k < 5; ++k) sum += post.at(0, k);
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(MultinomialDiffusionTest, PosteriorAtT1ConcentratesOnX0) {
+  VarianceSchedule schedule(100);
+  MultinomialDiffusion diff(&schedule, 4);
+  // With x0 mass fully on category 2 and x_1 = 2, the posterior for x_0
+  // must concentrate there.
+  Matrix x0_dist(1, 4);
+  x0_dist.at(0, 2) = 1.0f;
+  Matrix post = diff.Posterior(OneHotRow(2, 4), x0_dist, {1});
+  EXPECT_GT(post.at(0, 2), 0.99f);
+}
+
+TEST(MultinomialDiffusionTest, KlLossZeroWhenPredictionIsTruth) {
+  VarianceSchedule schedule(100);
+  MultinomialDiffusion diff(&schedule, 3);
+  Matrix x0 = OneHotRow(1, 3);
+  Matrix x_t = OneHotRow(2, 3);
+  // Logits strongly favoring the true category ~ delta on truth.
+  Matrix logits(1, 3);
+  logits.at(0, 1) = 30.0f;
+  Matrix grad;
+  const double loss = diff.KlLoss(logits, x0, x_t, {50}, &grad);
+  EXPECT_NEAR(loss, 0.0, 1e-4);
+}
+
+TEST(MultinomialDiffusionTest, KlLossPositiveForWrongPrediction) {
+  VarianceSchedule schedule(100);
+  MultinomialDiffusion diff(&schedule, 3);
+  Matrix x0 = OneHotRow(1, 3);
+  Matrix x_t = OneHotRow(1, 3);
+  Matrix logits(1, 3);
+  logits.at(0, 0) = 30.0f;  // confidently wrong
+  Matrix grad;
+  // Use a small t: alpha_bar(t-1) is near 1 there, so the posterior depends
+  // strongly on the x0 prediction (at large t it barely does).
+  EXPECT_GT(diff.KlLoss(logits, x0, x_t, {2}, &grad), 0.5);
+}
+
+TEST(MultinomialDiffusionTest, KlLossInsensitiveToX0AtTerminalTimestep) {
+  VarianceSchedule schedule(100);
+  MultinomialDiffusion diff(&schedule, 3);
+  Matrix x0 = OneHotRow(1, 3);
+  Matrix x_t = OneHotRow(1, 3);
+  Matrix logits(1, 3);
+  logits.at(0, 0) = 30.0f;  // confidently wrong, but at t=100 it hardly
+  Matrix grad;              // matters: the posterior is noise-dominated
+  EXPECT_LT(diff.KlLoss(logits, x0, x_t, {100}, &grad), 0.2);
+}
+
+// Finite-difference check of the KL gradient across cardinalities and
+// timesteps.
+class KlGradSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KlGradSweep, GradientMatchesFiniteDifference) {
+  const int categories = std::get<0>(GetParam());
+  const int t = std::get<1>(GetParam());
+  VarianceSchedule schedule(100);
+  MultinomialDiffusion diff(&schedule, categories);
+  Rng rng(3);
+  const int n = 4;
+  Matrix x0(n, categories), x_t(n, categories);
+  for (int r = 0; r < n; ++r) {
+    x0.at(r, static_cast<int>(rng.UniformInt(0, categories - 1))) = 1.0f;
+    x_t.at(r, static_cast<int>(rng.UniformInt(0, categories - 1))) = 1.0f;
+  }
+  Matrix logits = Matrix::RandomNormal(n, categories, &rng);
+  std::vector<int> ts(n, t);
+  Matrix grad;
+  diff.KlLoss(logits, x0, x_t, ts, &grad);
+  const double eps = 1e-3;
+  for (int r = 0; r < n; ++r) {
+    for (int k = 0; k < categories; ++k) {
+      Matrix g_unused;
+      const float orig = logits.at(r, k);
+      logits.at(r, k) = orig + static_cast<float>(eps);
+      const double up = diff.KlLoss(logits, x0, x_t, ts, &g_unused);
+      logits.at(r, k) = orig - static_cast<float>(eps);
+      const double down = diff.KlLoss(logits, x0, x_t, ts, &g_unused);
+      logits.at(r, k) = orig;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(grad.at(r, k), numeric,
+                  2e-2 * std::max(1.0, std::abs(numeric)))
+          << "cat=" << categories << " t=" << t << " (" << r << "," << k
+          << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CardinalityByTimestep, KlGradSweep,
+    ::testing::Combine(::testing::Values(2, 3, 7),
+                       ::testing::Values(1, 10, 60, 100)));
+
+}  // namespace
+}  // namespace silofuse

@@ -1,0 +1,226 @@
+// Finite-difference gradient checks for every differentiable layer.
+//
+// For a random input x and random upstream gradient g, the analytic
+// gradients returned by Backward must match (J^T g) estimated by central
+// differences of the scalar surrogate L(x) = sum(Forward(x) * g), both for
+// the input and for every parameter.
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+
+namespace silofuse {
+namespace {
+
+double Surrogate(Module* module, const Matrix& input, const Matrix& g) {
+  Matrix out = module->Forward(input, /*training=*/false);
+  return out.Mul(g).Sum();
+}
+
+/// Checks dSurrogate/dInput and dSurrogate/dParams by central differences.
+void CheckGradients(Module* module, Matrix input, int out_rows, int out_cols,
+                    double tol = 2e-2, double eps = 1e-3) {
+  Rng rng(99);
+  Matrix g = Matrix::RandomNormal(out_rows, out_cols, &rng);
+
+  module->ZeroGrad();
+  Matrix out = module->Forward(input, false);
+  ASSERT_EQ(out.rows(), out_rows);
+  ASSERT_EQ(out.cols(), out_cols);
+  Matrix grad_input = module->Backward(g);
+
+  // Input gradient.
+  for (int r = 0; r < input.rows(); ++r) {
+    for (int c = 0; c < input.cols(); ++c) {
+      const float orig = input.at(r, c);
+      input.at(r, c) = orig + static_cast<float>(eps);
+      const double up = Surrogate(module, input, g);
+      input.at(r, c) = orig - static_cast<float>(eps);
+      const double down = Surrogate(module, input, g);
+      input.at(r, c) = orig;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(grad_input.at(r, c), numeric,
+                  tol * std::max(1.0, std::abs(numeric)))
+          << "input grad mismatch at (" << r << "," << c << ")";
+    }
+  }
+
+  // Parameter gradients. Re-run forward/backward so caches match the
+  // unperturbed input.
+  module->ZeroGrad();
+  module->Forward(input, false);
+  module->Backward(g);
+  for (Parameter* p : module->Parameters()) {
+    for (int r = 0; r < p->value.rows(); ++r) {
+      for (int c = 0; c < p->value.cols(); ++c) {
+        const float orig = p->value.at(r, c);
+        p->value.at(r, c) = orig + static_cast<float>(eps);
+        const double up = Surrogate(module, input, g);
+        p->value.at(r, c) = orig - static_cast<float>(eps);
+        const double down = Surrogate(module, input, g);
+        p->value.at(r, c) = orig;
+        const double numeric = (up - down) / (2 * eps);
+        EXPECT_NEAR(p->grad.at(r, c), numeric,
+                    tol * std::max(1.0, std::abs(numeric)))
+            << "param " << p->name << " grad mismatch at (" << r << "," << c
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(GradCheckTest, Linear) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng);
+  Matrix input = Matrix::RandomNormal(5, 4, &rng);
+  CheckGradients(&layer, input, 5, 3);
+}
+
+TEST(GradCheckTest, LinearWithoutBias) {
+  Rng rng(2);
+  Linear layer(3, 6, &rng, /*bias=*/false);
+  Matrix input = Matrix::RandomNormal(4, 3, &rng);
+  CheckGradients(&layer, input, 4, 6);
+}
+
+TEST(GradCheckTest, Gelu) {
+  Rng rng(3);
+  Gelu layer;
+  Matrix input = Matrix::RandomNormal(4, 5, &rng);
+  CheckGradients(&layer, input, 4, 5);
+}
+
+TEST(GradCheckTest, Relu) {
+  Rng rng(4);
+  Relu layer;
+  // Keep inputs away from the kink at 0.
+  Matrix input = Matrix::RandomNormal(4, 5, &rng).Apply(
+      [](float v) { return std::abs(v) < 0.05f ? v + 0.2f : v; });
+  CheckGradients(&layer, input, 4, 5);
+}
+
+TEST(GradCheckTest, LeakyRelu) {
+  Rng rng(5);
+  LeakyRelu layer(0.2f);
+  Matrix input = Matrix::RandomNormal(4, 5, &rng).Apply(
+      [](float v) { return std::abs(v) < 0.05f ? v + 0.2f : v; });
+  CheckGradients(&layer, input, 4, 5);
+}
+
+TEST(GradCheckTest, TanhLayer) {
+  Rng rng(6);
+  Tanh layer;
+  Matrix input = Matrix::RandomNormal(3, 4, &rng);
+  CheckGradients(&layer, input, 3, 4);
+}
+
+TEST(GradCheckTest, SigmoidLayer) {
+  Rng rng(7);
+  Sigmoid layer;
+  Matrix input = Matrix::RandomNormal(3, 4, &rng);
+  CheckGradients(&layer, input, 3, 4);
+}
+
+TEST(GradCheckTest, LayerNormLayer) {
+  Rng rng(8);
+  LayerNorm layer(6);
+  // Nudge gamma/beta off their init so gradients are generic.
+  for (Parameter* p : layer.Parameters()) {
+    for (int c = 0; c < p->value.cols(); ++c) {
+      p->value.at(0, c) += static_cast<float>(rng.Normal(0.0, 0.2));
+    }
+  }
+  Matrix input = Matrix::RandomNormal(5, 6, &rng);
+  CheckGradients(&layer, input, 5, 6, /*tol=*/4e-2);
+}
+
+TEST(GradCheckTest, Conv1D) {
+  Rng rng(9);
+  Conv1D layer(/*in_channels=*/2, /*out_channels=*/3, /*length=*/8,
+               /*kernel_size=*/3, /*stride=*/2, /*padding=*/1, &rng);
+  Matrix input = Matrix::RandomNormal(3, 2 * 8, &rng);
+  CheckGradients(&layer, input, 3, layer.out_features());
+}
+
+TEST(GradCheckTest, Conv1DNoPaddingUnitStride) {
+  Rng rng(10);
+  Conv1D layer(1, 2, 6, 3, 1, 0, &rng);
+  Matrix input = Matrix::RandomNormal(2, 6, &rng);
+  CheckGradients(&layer, input, 2, layer.out_features());
+}
+
+TEST(GradCheckTest, ConvTranspose1D) {
+  Rng rng(11);
+  ConvTranspose1D layer(/*in_channels=*/3, /*out_channels=*/2, /*length=*/4,
+                        /*kernel_size=*/4, /*stride=*/2, /*padding=*/1, &rng);
+  Matrix input = Matrix::RandomNormal(3, 3 * 4, &rng);
+  CheckGradients(&layer, input, 3, layer.out_features());
+}
+
+TEST(GradCheckTest, SequentialMlp) {
+  Rng rng(12);
+  Sequential net;
+  net.Emplace<Linear>(4, 8, &rng);
+  net.Emplace<Gelu>();
+  net.Emplace<Linear>(8, 3, &rng);
+  Matrix input = Matrix::RandomNormal(4, 4, &rng);
+  CheckGradients(&net, input, 4, 3);
+}
+
+TEST(GradCheckTest, SequentialConvStack) {
+  Rng rng(13);
+  Sequential net;
+  net.Emplace<Conv1D>(1, 2, 8, 3, 2, 1, &rng);  // -> 2 x 4
+  net.Emplace<LeakyRelu>(0.2f);
+  net.Emplace<Linear>(8, 2, &rng);
+  Matrix input = Matrix::RandomNormal(2, 8, &rng);
+  CheckGradients(&net, input, 2, 2);
+}
+
+TEST(GradCheckTest, ResidualWrappedMlp) {
+  Rng rng(16);
+  auto inner = std::make_unique<Sequential>();
+  inner->Emplace<Linear>(5, 5, &rng);
+  inner->Emplace<Gelu>();
+  Residual layer(std::move(inner));
+  Matrix input = Matrix::RandomNormal(3, 5, &rng);
+  CheckGradients(&layer, input, 3, 5);
+}
+
+TEST(GradCheckTest, ResidualIdentityWhenInnerIsZero) {
+  Rng rng(17);
+  auto inner = std::make_unique<Sequential>();
+  auto* linear = new Linear(4, 4, &rng);
+  linear->weight().value.Fill(0.0f);
+  linear->bias().value.Fill(0.0f);
+  inner->Add(std::unique_ptr<Module>(linear));
+  Residual layer(std::move(inner));
+  Matrix input = Matrix::RandomNormal(2, 4, &rng);
+  EXPECT_EQ(layer.Forward(input, false), input);
+}
+
+TEST(GradCheckTest, ConvTransposeOutputLengthFormula) {
+  Rng rng(14);
+  ConvTranspose1D layer(1, 1, 5, 4, 2, 1, &rng);
+  EXPECT_EQ(layer.out_length(), (5 - 1) * 2 - 2 * 1 + 4);
+}
+
+TEST(GradCheckTest, Conv1DOutputLengthFormula) {
+  Rng rng(15);
+  Conv1D layer(1, 1, 9, 3, 2, 1, &rng);
+  EXPECT_EQ(layer.out_length(), (9 + 2 * 1 - 3) / 2 + 1);
+}
+
+}  // namespace
+}  // namespace silofuse

@@ -1,0 +1,128 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "nn/losses.h"
+
+namespace silofuse {
+namespace {
+
+/// Minimizes f(w) = ||w - target||^2 with the given optimizer.
+template <typename Opt, typename... Args>
+double MinimizeQuadratic(int steps, Args&&... args) {
+  Parameter w("w", Matrix(1, 4, 0.0f));
+  Matrix target = Matrix::FromVector(1, 4, {1.0f, -2.0f, 3.0f, 0.5f});
+  Opt opt({&w}, std::forward<Args>(args)...);
+  for (int s = 0; s < steps; ++s) {
+    opt.ZeroGrad();
+    Matrix grad;
+    MseLoss(w.value, target, &grad);
+    w.grad.AddInPlace(grad);
+    opt.Step();
+  }
+  return w.value.Sub(target).SquaredNorm();
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  EXPECT_LT(MinimizeQuadratic<Sgd>(500, /*lr=*/0.5f), 1e-4);
+}
+
+TEST(OptimizerTest, SgdMomentumConvergesFaster) {
+  const double plain = MinimizeQuadratic<Sgd>(100, 0.1f, 0.0f);
+  const double momentum = MinimizeQuadratic<Sgd>(100, 0.1f, 0.9f);
+  EXPECT_LT(momentum, plain);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  EXPECT_LT(MinimizeQuadratic<Adam>(800, /*lr=*/0.05f), 1e-3);
+}
+
+TEST(OptimizerTest, AdamStepCountAdvances) {
+  Parameter w("w", Matrix(1, 1, 0.0f));
+  Adam adam({&w});
+  EXPECT_EQ(adam.step_count(), 0);
+  adam.Step();
+  adam.Step();
+  EXPECT_EQ(adam.step_count(), 2);
+}
+
+TEST(OptimizerTest, AdamFirstStepSizeIsLearningRate) {
+  // With bias correction, the first Adam update has magnitude ~lr.
+  Parameter w("w", Matrix(1, 1, 0.0f));
+  Adam adam({&w}, /*lr=*/0.1f);
+  w.grad.at(0, 0) = 123.0f;  // any gradient magnitude
+  adam.Step();
+  EXPECT_NEAR(std::abs(w.value.at(0, 0)), 0.1, 1e-3);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  Parameter w("w", Matrix(1, 1, 5.0f));
+  Adam adam({&w}, 0.01f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  for (int s = 0; s < 200; ++s) {
+    adam.ZeroGrad();  // zero task gradient; only decay acts
+    adam.Step();
+  }
+  EXPECT_LT(std::abs(w.value.at(0, 0)), 5.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormRescalesLargeGradients) {
+  Parameter w("w", Matrix(1, 2, 0.0f));
+  w.grad.at(0, 0) = 3.0f;
+  w.grad.at(0, 1) = 4.0f;  // norm 5
+  Sgd opt({&w}, 0.1f);
+  const double pre = opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(std::sqrt(w.grad.SquaredNorm()), 1.0, 1e-5);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesSmallGradients) {
+  Parameter w("w", Matrix(1, 2, 0.0f));
+  w.grad.at(0, 0) = 0.3f;
+  Sgd opt({&w}, 0.1f);
+  opt.ClipGradNorm(1.0);
+  EXPECT_NEAR(w.grad.at(0, 0), 0.3f, 1e-7);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAllParams) {
+  Rng rng(1);
+  Linear layer(3, 2, &rng);
+  Matrix x = Matrix::RandomNormal(4, 3, &rng);
+  layer.Forward(x, true);
+  layer.Backward(Matrix(4, 2, 1.0f));
+  Adam opt(layer.Parameters());
+  opt.ZeroGrad();
+  for (Parameter* p : layer.Parameters()) {
+    EXPECT_DOUBLE_EQ(p->grad.SquaredNorm(), 0.0);
+  }
+}
+
+TEST(OptimizerTest, TrainsLinearRegressionEndToEnd) {
+  Rng rng(2);
+  Linear layer(2, 1, &rng);
+  Adam opt(layer.Parameters(), 0.02f);
+  // y = 2 x0 - x1 + 0.5
+  Matrix x = Matrix::RandomNormal(128, 2, &rng);
+  Matrix y(128, 1);
+  for (int r = 0; r < 128; ++r) {
+    y.at(r, 0) = 2.0f * x.at(r, 0) - x.at(r, 1) + 0.5f;
+  }
+  double final_loss = 1.0;
+  for (int s = 0; s < 800; ++s) {
+    Matrix pred = layer.Forward(x, true);
+    Matrix grad;
+    final_loss = MseLoss(pred, y, &grad);
+    opt.ZeroGrad();
+    layer.Backward(grad);
+    opt.Step();
+  }
+  EXPECT_LT(final_loss, 1e-3);
+  EXPECT_NEAR(layer.weight().value.at(0, 0), 2.0f, 0.05);
+  EXPECT_NEAR(layer.weight().value.at(1, 0), -1.0f, 0.05);
+  EXPECT_NEAR(layer.bias().value.at(0, 0), 0.5f, 0.05);
+}
+
+}  // namespace
+}  // namespace silofuse

@@ -1,0 +1,177 @@
+#include "privacy/attacks.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators/paper_datasets.h"
+#include "privacy/neighbors.h"
+
+namespace silofuse {
+namespace {
+
+Table IndependentCopy(const std::string& name, int rows, uint64_t seed) {
+  return GeneratePaperDataset(name, rows, seed).Value();
+}
+
+TEST(NormalizeAttackTest, NoExcessSuccessScoresHundred) {
+  AttackResult r = NormalizeAttack(0.2, 0.2);
+  EXPECT_DOUBLE_EQ(r.risk, 0.0);
+  EXPECT_DOUBLE_EQ(r.score, 100.0);
+}
+
+TEST(NormalizeAttackTest, PerfectAttackScoresZero) {
+  AttackResult r = NormalizeAttack(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(r.risk, 1.0);
+  EXPECT_DOUBLE_EQ(r.score, 0.0);
+}
+
+TEST(NormalizeAttackTest, BelowBaselineClampedToHundred) {
+  AttackResult r = NormalizeAttack(0.1, 0.3);
+  EXPECT_DOUBLE_EQ(r.score, 100.0);
+}
+
+TEST(MixedDistanceTest, ZeroForIdenticalRows) {
+  Table t = IndependentCopy("loan", 50, 1);
+  MixedDistance metric(t);
+  std::vector<int> all;
+  for (int c = 0; c < t.num_columns(); ++c) all.push_back(c);
+  EXPECT_DOUBLE_EQ(metric.Distance(t, 3, t, 3, all), 0.0);
+}
+
+TEST(MixedDistanceTest, NearestFindsSelf) {
+  Table t = IndependentCopy("loan", 80, 2);
+  MixedDistance metric(t);
+  std::vector<int> all;
+  for (int c = 0; c < t.num_columns(); ++c) all.push_back(c);
+  for (int q : {0, 17, 79}) {
+    EXPECT_EQ(metric.Nearest(t, q, t, all), q);
+  }
+}
+
+TEST(MixedDistanceTest, KNearestSortedByDistance) {
+  Table t = IndependentCopy("loan", 60, 3);
+  MixedDistance metric(t);
+  std::vector<int> all;
+  for (int c = 0; c < t.num_columns(); ++c) all.push_back(c);
+  std::vector<int> nn = metric.KNearest(t, 5, t, all, 4);
+  ASSERT_EQ(nn.size(), 4u);
+  EXPECT_EQ(nn[0], 5);  // self is closest
+  double prev = 0.0;
+  for (int i : nn) {
+    const double d = metric.Distance(t, 5, t, i, all);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(PrivacyAttackTest, LeakedCopyScoresMuchWorseThanFreshSample) {
+  // Worst case: the "synthetic" data IS the training data. Every attack
+  // should find strong excess success over baseline compared against an
+  // independent draw from the same distribution.
+  Table real = IndependentCopy("loan", 500, 4);
+  Table leaked = real;
+  Table fresh = IndependentCopy("loan", 500, 99);
+  PrivacyConfig config;
+  config.num_attacks = 150;
+  Rng rng(5);
+  auto leak_result = ComputePrivacy(real, leaked, config, &rng);
+  auto fresh_result = ComputePrivacy(real, fresh, config, &rng);
+  ASSERT_TRUE(leak_result.ok());
+  ASSERT_TRUE(fresh_result.ok());
+  EXPECT_LT(leak_result.Value().overall, fresh_result.Value().overall - 15.0);
+  EXPECT_GT(fresh_result.Value().overall, 70.0);
+}
+
+TEST(PrivacyAttackTest, AttributeInferenceOnLeakedDataIsStrong) {
+  Table real = IndependentCopy("loan", 400, 6);
+  PrivacyConfig config;
+  config.num_attacks = 120;
+  Rng rng(7);
+  AttackResult leaked = AttributeInferenceAttack(
+      real, real, real.num_columns() - 1, config, &rng);
+  EXPECT_GT(leaked.attack_rate, 0.95);
+  EXPECT_LT(leaked.score, 30.0);
+}
+
+TEST(PrivacyAttackTest, LinkabilityOnLeakedDataIsStrong) {
+  Table real = IndependentCopy("loan", 400, 8);
+  PrivacyConfig config;
+  config.num_attacks = 120;
+  Rng rng(9);
+  AttackResult leaked = LinkabilityAttack(real, real, config, &rng);
+  // Both half-feature neighbor searches find the same (copied) row.
+  EXPECT_GT(leaked.attack_rate, 0.9);
+  EXPECT_LT(leaked.score, 20.0);
+}
+
+TEST(PrivacyAttackTest, LinkabilityCustomColumnSplit) {
+  Table real = IndependentCopy("loan", 200, 10);
+  PrivacyConfig config;
+  config.num_attacks = 60;
+  Rng rng(11);
+  AttackResult r = LinkabilityAttack(real, real, config, &rng, {0, 1, 2},
+                                     {3, 4, 5});
+  EXPECT_GE(r.attack_rate, 0.5);
+}
+
+TEST(PrivacyAttackTest, SinglingOutDetectsLeakedCopy) {
+  Table real = IndependentCopy("loan", 400, 20);
+  PrivacyConfig config;
+  config.num_attacks = 150;
+  Rng rng(21);
+  AttackResult leaked = SinglingOutAttack(real, real, config, &rng);
+  // Predicates built from leaked records isolate their source record far
+  // more often than marginal-shuffled probes.
+  EXPECT_GT(leaked.attack_rate, leaked.baseline_rate + 0.3);
+  EXPECT_LT(leaked.score, 70.0);
+}
+
+TEST(PrivacyAttackTest, SinglingOutBoundedRates) {
+  Table real = IndependentCopy("loan", 300, 12);
+  Table synth = IndependentCopy("loan", 300, 13);
+  PrivacyConfig config;
+  config.num_attacks = 100;
+  Rng rng(13);
+  AttackResult r = SinglingOutAttack(real, synth, config, &rng);
+  EXPECT_GE(r.attack_rate, 0.0);
+  EXPECT_LE(r.attack_rate, 1.0);
+  EXPECT_GE(r.score, 0.0);
+  EXPECT_LE(r.score, 100.0);
+}
+
+TEST(PrivacyAttackTest, ComputePrivacyValidatesInput) {
+  Table a = IndependentCopy("loan", 100, 14);
+  Table b = IndependentCopy("adult", 100, 14);
+  PrivacyConfig config;
+  Rng rng(15);
+  EXPECT_FALSE(ComputePrivacy(a, b, config, &rng).ok());
+  Table tiny = a.SliceRows(0, 5);
+  EXPECT_FALSE(ComputePrivacy(tiny, tiny, config, &rng).ok());
+}
+
+// Attack sweep: tolerances behave monotonically — a looser numeric
+// tolerance can only raise the attribute-inference hit rate.
+class ToleranceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ToleranceSweep, AttributeInferenceRateIncreasesWithTolerance) {
+  Table real = IndependentCopy("abalone", 300, 16);
+  Table synth = IndependentCopy("abalone", 300, 17);
+  PrivacyConfig config;
+  config.num_attacks = 100;
+  config.numeric_tolerance = GetParam();
+  Rng rng(18);
+  // Secret = first numeric column.
+  AttackResult r = AttributeInferenceAttack(real, synth, 0, config, &rng);
+  EXPECT_GE(r.attack_rate, 0.0);
+  EXPECT_LE(r.attack_rate, 1.0);
+  static double prev_rate = -1.0;
+  if (prev_rate >= 0.0) {
+    EXPECT_GE(r.attack_rate + 0.05, prev_rate);
+  }
+  prev_rate = r.attack_rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Tolerances, ToleranceSweep,
+                         ::testing::Values(0.01, 0.05, 0.2));
+
+}  // namespace
+}  // namespace silofuse

@@ -1,0 +1,142 @@
+#include "data/scalers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/mixed_encoder.h"
+#include "data/table.h"
+
+namespace silofuse {
+namespace {
+
+TEST(StandardScalerTest, ZeroMeanUnitVariance) {
+  StandardScaler s;
+  s.Fit({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  double mean = 0.0;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) mean += s.Transform(v);
+  EXPECT_NEAR(mean / 4.0, 0.0, 1e-12);
+}
+
+TEST(StandardScalerTest, InverseRoundTrip) {
+  StandardScaler s;
+  s.Fit({-3.0, 0.0, 9.5});
+  for (double v : {-3.0, 1.25, 9.5}) {
+    EXPECT_NEAR(s.Inverse(s.Transform(v)), v, 1e-9);
+  }
+}
+
+TEST(StandardScalerTest, DegenerateColumnMapsToZero) {
+  StandardScaler s;
+  s.Fit({5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.Transform(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Inverse(0.0), 5.0);
+}
+
+TEST(MinMaxScalerTest, MapsToMinusOneOne) {
+  MinMaxScaler s;
+  s.Fit({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.Transform(0.0), -1.0);
+  EXPECT_DOUBLE_EQ(s.Transform(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Transform(5.0), 0.0);
+}
+
+TEST(MinMaxScalerTest, InverseClampsOutOfRange) {
+  MinMaxScaler s;
+  s.Fit({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.Inverse(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Inverse(-2.0), 0.0);
+}
+
+TEST(NormalQuantileTest, InvertsCdf) {
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-7) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantileTest, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(NormalQuantile(0.025), -1.959964, 1e-4);
+}
+
+TEST(QuantileNormalTransformerTest, OutputIsRoughlyStandardNormal) {
+  Rng rng(1);
+  std::vector<double> values(3000);
+  for (double& v : values) v = std::exp(rng.Normal());  // heavily skewed
+  QuantileNormalTransformer t;
+  t.Fit(values);
+  double mean = 0.0, var = 0.0;
+  std::vector<double> z(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    z[i] = t.Transform(values[i]);
+    mean += z[i];
+  }
+  mean /= z.size();
+  for (double v : z) var += (v - mean) * (v - mean);
+  var /= z.size();
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.12);
+}
+
+TEST(QuantileNormalTransformerTest, InverseRoundTripWithinRange) {
+  Rng rng(2);
+  std::vector<double> values(1000);
+  for (double& v : values) v = rng.Normal(5.0, 2.0);
+  QuantileNormalTransformer t;
+  t.Fit(values);
+  for (double v : {3.0, 5.0, 7.0}) {
+    EXPECT_NEAR(t.Inverse(t.Transform(v)), v, 0.15);
+  }
+}
+
+TEST(QuantileNormalTransformerTest, MonotoneTransform) {
+  QuantileNormalTransformer t;
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(i * 0.1);
+  t.Fit(values);
+  double prev = t.Transform(0.0);
+  for (double v = 0.5; v < 49.0; v += 0.5) {
+    const double cur = t.Transform(v);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+// Property sweep: every scaling mode of the MixedEncoder must round-trip
+// numeric values through Encode/Decode.
+class MixedEncoderScalingTest
+    : public ::testing::TestWithParam<NumericScaling> {};
+
+TEST_P(MixedEncoderScalingTest, EncodeDecodeRoundTrip) {
+  Rng rng(3);
+  Table t(Schema({ColumnSpec::Numeric("v"), ColumnSpec::Categorical("c", 5)}));
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({rng.Normal(10.0, 4.0),
+                     static_cast<double>(rng.UniformInt(0, 4))}).ok());
+  }
+  MixedEncoder encoder(GetParam());
+  ASSERT_TRUE(encoder.Fit(t).ok());
+  Matrix encoded = encoder.Encode(t);
+  EXPECT_EQ(encoded.cols(), 1 + 5);
+  Table back = encoder.Decode(encoded);
+  double max_err = 0.0;
+  for (int r = 0; r < t.num_rows(); ++r) {
+    max_err = std::max(max_err, std::abs(back.value(r, 0) - t.value(r, 0)));
+    EXPECT_EQ(back.code(r, 1), t.code(r, 1));
+  }
+  // Quantile transform interpolates, so allow a small tolerance.
+  EXPECT_LT(max_err, GetParam() == NumericScaling::kQuantileNormal ? 0.3
+                                                                   : 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScalings, MixedEncoderScalingTest,
+                         ::testing::Values(NumericScaling::kStandard,
+                                           NumericScaling::kMinMax,
+                                           NumericScaling::kQuantileNormal));
+
+}  // namespace
+}  // namespace silofuse

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "data/schema.h"
+#include "data/table.h"
+
+namespace silofuse {
+namespace {
+
+Schema TestSchema() {
+  return Schema({ColumnSpec::Numeric("age"),
+                 ColumnSpec::Categorical("sex", 2),
+                 ColumnSpec::Numeric("income"),
+                 ColumnSpec::Categorical("city", 4)});
+}
+
+Table TestTable() {
+  Table t(TestSchema());
+  SF_CHECK(t.AppendRow({30.0, 1, 50000.0, 2}).ok());
+  SF_CHECK(t.AppendRow({25.0, 0, 42000.0, 0}).ok());
+  SF_CHECK(t.AppendRow({61.5, 1, 90000.0, 3}).ok());
+  return t;
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 4);
+  EXPECT_EQ(s.num_categorical(), 2);
+  EXPECT_EQ(s.num_numeric(), 2);
+  EXPECT_EQ(s.column(1).cardinality, 2);
+  EXPECT_TRUE(s.column(1).is_categorical());
+  EXPECT_FALSE(s.column(0).is_categorical());
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.ColumnIndex("income").Value(), 2);
+  EXPECT_FALSE(s.ColumnIndex("missing").ok());
+}
+
+TEST(SchemaTest, OneHotWidth) {
+  // 1 + 2 + 1 + 4.
+  EXPECT_EQ(TestSchema().OneHotWidth(), 8);
+}
+
+TEST(SchemaTest, SelectPreservesOrder) {
+  Schema sub = TestSchema().Select({3, 0});
+  ASSERT_EQ(sub.num_columns(), 2);
+  EXPECT_EQ(sub.column(0).name, "city");
+  EXPECT_EQ(sub.column(1).name, "age");
+}
+
+TEST(SchemaTest, ValidateRejectsDuplicates) {
+  Schema s({ColumnSpec::Numeric("a"), ColumnSpec::Numeric("a")});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsBadCardinality) {
+  Schema s({ColumnSpec::Categorical("c", 1)});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsEmptyName) {
+  Schema s({ColumnSpec::Numeric("")});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table t = TestTable();
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.num_columns(), 4);
+  EXPECT_DOUBLE_EQ(t.value(0, 0), 30.0);
+  EXPECT_EQ(t.code(0, 1), 1);
+  EXPECT_EQ(t.code(2, 3), 3);
+}
+
+TEST(TableTest, AppendRejectsWrongWidth) {
+  Table t(TestSchema());
+  EXPECT_FALSE(t.AppendRow({1.0, 0.0}).ok());
+}
+
+TEST(TableTest, AppendRejectsOutOfRangeCode) {
+  Table t(TestSchema());
+  EXPECT_EQ(t.AppendRow({30.0, 5, 1.0, 0}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(t.num_rows(), 0);
+}
+
+TEST(TableTest, AppendRejectsNonFinite) {
+  Table t(TestSchema());
+  EXPECT_FALSE(t.AppendRow({std::nan(""), 0, 1.0, 0}).ok());
+}
+
+TEST(TableTest, SliceAndGatherRows) {
+  Table t = TestTable();
+  Table slice = t.SliceRows(1, 2);
+  EXPECT_EQ(slice.num_rows(), 2);
+  EXPECT_DOUBLE_EQ(slice.value(0, 0), 25.0);
+  Table gathered = t.GatherRows({2, 2, 0});
+  EXPECT_EQ(gathered.num_rows(), 3);
+  EXPECT_DOUBLE_EQ(gathered.value(0, 0), 61.5);
+  EXPECT_DOUBLE_EQ(gathered.value(2, 0), 30.0);
+}
+
+TEST(TableTest, SelectColumnsBuildsVerticalPartition) {
+  Table t = TestTable();
+  Table part = t.SelectColumns({1, 2});
+  EXPECT_EQ(part.num_columns(), 2);
+  EXPECT_EQ(part.schema().column(0).name, "sex");
+  EXPECT_DOUBLE_EQ(part.value(1, 1), 42000.0);
+}
+
+TEST(TableTest, ConcatColumnsRestoresWidth) {
+  Table t = TestTable();
+  Table left = t.SelectColumns({0, 1});
+  Table right = t.SelectColumns({2, 3});
+  auto joined = Table::ConcatColumns({left, right});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined.Value().num_columns(), 4);
+  EXPECT_DOUBLE_EQ(joined.Value().value(2, 2), 90000.0);
+}
+
+TEST(TableTest, ConcatColumnsRejectsMisalignedRows) {
+  Table t = TestTable();
+  Table left = t.SelectColumns({0}).SliceRows(0, 2);
+  Table right = t.SelectColumns({1});
+  EXPECT_FALSE(Table::ConcatColumns({left, right}).ok());
+}
+
+TEST(TableTest, ConcatRowsStacksTables) {
+  Table t = TestTable();
+  auto doubled = Table::ConcatRows({t, t});
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(doubled.Value().num_rows(), 6);
+}
+
+TEST(TableTest, ConcatRowsRejectsSchemaMismatch) {
+  Table t = TestTable();
+  Table part = t.SelectColumns({0});
+  EXPECT_FALSE(Table::ConcatRows({t, part}).ok());
+}
+
+TEST(TableTest, ToMatrixAndBack) {
+  Table t = TestTable();
+  Matrix m = t.ToMatrix();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  Table back = Table::FromMatrix(t.schema(), m);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_NEAR(back.value(r, c), t.value(r, c), 1e-2);
+    }
+  }
+}
+
+TEST(TableTest, FromMatrixClampsCategoricalCodes) {
+  Matrix m = Matrix::FromVector(1, 4, {1.0f, 9.0f, 2.0f, -3.0f});
+  Table t = Table::FromMatrix(TestSchema(), m);
+  EXPECT_EQ(t.code(0, 1), 1);  // clamped to cardinality-1
+  EXPECT_EQ(t.code(0, 3), 0);  // clamped to 0
+}
+
+TEST(TableTest, FromColumnsValidates) {
+  auto bad = Table::FromColumns(TestSchema(),
+                                {{1.0}, {0.0}, {2.0}, {9.0}});  // code 9 > 3
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(TableTest, SampleWithoutReplacement) {
+  Table t = TestTable();
+  Rng rng(9);
+  Table s = t.Sample(2, &rng);
+  EXPECT_EQ(s.num_rows(), 2);
+}
+
+TEST(TableTest, PreviewMentionsColumnsAndRows) {
+  Table t = TestTable();
+  const std::string preview = t.Preview(2);
+  EXPECT_NE(preview.find("age"), std::string::npos);
+  EXPECT_NE(preview.find("(3 rows)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace silofuse

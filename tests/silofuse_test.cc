@@ -1,0 +1,169 @@
+// Tests of the SiloFuse facade: Algorithm 1/2 mechanics, communication
+// accounting, partitioned-vs-shared synthesis, and input validation.
+
+#include "core/silofuse.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators/paper_datasets.h"
+
+namespace silofuse {
+namespace {
+
+SiloFuseOptions TinyOptions(int clients = 3) {
+  SiloFuseOptions options;
+  options.base.autoencoder.hidden_dim = 32;
+  options.base.autoencoder_steps = 80;
+  options.base.diffusion_train_steps = 150;
+  options.base.batch_size = 64;
+  options.base.diffusion.hidden_dim = 48;
+  options.base.diffusion.num_layers = 4;
+  options.partition.num_clients = clients;
+  return options;
+}
+
+Table SmallData(int rows = 260) {
+  return GeneratePaperDataset("loan", rows, /*seed=*/21).Value();
+}
+
+TEST(SiloFuseTest, FitCreatesClientsAndCoordinator) {
+  SiloFuse model(TinyOptions(3));
+  Rng rng(1);
+  ASSERT_TRUE(model.Fit(SmallData(), &rng).ok());
+  EXPECT_EQ(model.num_clients(), 3);
+  ASSERT_NE(model.coordinator(), nullptr);
+  EXPECT_TRUE(model.coordinator()->trained());
+  // loan has 13 columns; latent dims default to per-client column counts.
+  EXPECT_EQ(model.total_latent_dim(), 13);
+  EXPECT_EQ(model.client(0)->latent_dim(), 4);
+  EXPECT_EQ(model.client(2)->latent_dim(), 5);  // remainder client
+}
+
+TEST(SiloFuseTest, TrainingUsesExactlyOneCommunicationRound) {
+  SiloFuse model(TinyOptions(4));
+  Rng rng(2);
+  ASSERT_TRUE(model.Fit(SmallData(), &rng).ok());
+  // One round, one latent message per client, nothing else.
+  EXPECT_EQ(model.channel().rounds(), 1);
+  EXPECT_EQ(model.channel().message_count(), 4);
+  EXPECT_EQ(model.channel().total_bytes(),
+            model.channel().bytes_with_tag("training_latents"));
+}
+
+TEST(SiloFuseTest, TrainingBytesIndependentOfIterations) {
+  // The headline Fig. 10 property: more training iterations, same bytes.
+  Table data = SmallData();
+  SiloFuseOptions small = TinyOptions(2);
+  SiloFuseOptions big = TinyOptions(2);
+  big.base.autoencoder_steps *= 3;
+  big.base.diffusion_train_steps *= 3;
+  Rng rng1(3), rng2(3);
+  SiloFuse a(small), b(big);
+  ASSERT_TRUE(a.Fit(data, &rng1).ok());
+  ASSERT_TRUE(b.Fit(data, &rng2).ok());
+  EXPECT_EQ(a.channel().bytes_with_tag("training_latents"),
+            b.channel().bytes_with_tag("training_latents"));
+}
+
+TEST(SiloFuseTest, SynthesizedSchemaMatchesOriginalOrder) {
+  SiloFuse model(TinyOptions(3));
+  Rng rng(4);
+  Table data = SmallData();
+  ASSERT_TRUE(model.Fit(data, &rng).ok());
+  auto synth = model.Synthesize(50, &rng);
+  ASSERT_TRUE(synth.ok());
+  EXPECT_TRUE(synth.Value().schema() == data.schema());
+  EXPECT_EQ(synth.Value().num_rows(), 50);
+}
+
+TEST(SiloFuseTest, PermutedPartitionStillRestoresSchema) {
+  SiloFuseOptions options = TinyOptions(4);
+  options.partition.permute = true;
+  options.partition.permute_seed = 12343;
+  SiloFuse model(options);
+  Rng rng(5);
+  Table data = SmallData();
+  ASSERT_TRUE(model.Fit(data, &rng).ok());
+  auto synth = model.Synthesize(40, &rng);
+  ASSERT_TRUE(synth.ok());
+  EXPECT_TRUE(synth.Value().schema() == data.schema());
+}
+
+TEST(SiloFuseTest, PartitionedSynthesisKeepsSlicesOnClients) {
+  SiloFuse model(TinyOptions(3));
+  Rng rng(6);
+  ASSERT_TRUE(model.Fit(SmallData(), &rng).ok());
+  auto parts = model.SynthesizePartitioned(30, &rng);
+  ASSERT_TRUE(parts.ok());
+  for (int i = 0; i < model.num_clients(); ++i) {
+    EXPECT_TRUE(parts.Value()[i].schema() == model.client(i)->schema());
+  }
+  // Synthesis round ships per-client latent slices only.
+  EXPECT_GT(model.channel().bytes_with_tag("synthetic_latents"), 0);
+}
+
+TEST(SiloFuseTest, FitPartitionedRejectsMisalignedRows) {
+  SiloFuse model(TinyOptions(2));
+  Rng rng(7);
+  Table data = SmallData();
+  std::vector<Table> parts = {data.SelectColumns({0, 1}),
+                              data.SelectColumns({2}).SliceRows(0, 10)};
+  Status s = model.FitPartitioned(std::move(parts), {{0, 1}, {2}}, &rng);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("row-aligned"), std::string::npos);
+}
+
+TEST(SiloFuseTest, FitPartitionedRejectsSizeMismatch) {
+  SiloFuse model(TinyOptions(2));
+  Rng rng(8);
+  Table data = SmallData();
+  std::vector<Table> parts = {data.SelectColumns({0, 1})};
+  EXPECT_FALSE(model.FitPartitioned(std::move(parts), {{0, 1}, {2}}, &rng).ok());
+}
+
+TEST(SiloFuseTest, FitPartitionedAcceptsExternallyPartitionedData) {
+  // The cross-silo entry point: parties arrive with pre-split features.
+  SiloFuse model(TinyOptions(2));
+  Rng rng(9);
+  Table data = SmallData();
+  std::vector<std::vector<int>> partition = {{0, 2, 4}, {1, 3, 5, 6, 7, 8, 9,
+                                              10, 11, 12}};
+  std::vector<Table> parts = {data.SelectColumns(partition[0]),
+                              data.SelectColumns(partition[1])};
+  ASSERT_TRUE(model.FitPartitioned(std::move(parts), partition, &rng).ok());
+  auto synth = model.Synthesize(25, &rng);
+  ASSERT_TRUE(synth.ok());
+  EXPECT_TRUE(synth.Value().schema() == data.schema());
+}
+
+TEST(SiloFuseTest, SynthesizeBeforeFitFails) {
+  SiloFuse model(TinyOptions());
+  Rng rng(10);
+  EXPECT_EQ(model.Synthesize(10, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(model.SynthesizePartitioned(10, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SiloFuseTest, InvalidRowCountRejected) {
+  SiloFuse model(TinyOptions(2));
+  Rng rng(11);
+  ASSERT_TRUE(model.Fit(SmallData(), &rng).ok());
+  EXPECT_FALSE(model.Synthesize(0, &rng).ok());
+  EXPECT_FALSE(model.Synthesize(-5, &rng).ok());
+}
+
+TEST(SiloFuseTest, ClientHiddenDimScalesDownWithClients) {
+  SiloFuseOptions options = TinyOptions(4);
+  options.base.autoencoder.hidden_dim = 64;
+  options.min_client_hidden = 8;
+  SiloFuse model(options);
+  Rng rng(12);
+  ASSERT_TRUE(model.Fit(SmallData(), &rng).ok());
+  // 64 / 4 = 16 hidden units per client: parameter count reflects it.
+  const int64_t params = model.client(0)->autoencoder()->parameter_count();
+  EXPECT_LT(params, 6000);
+}
+
+}  // namespace
+}  // namespace silofuse
