@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parameterization.dir/bench_ablation_parameterization.cc.o"
+  "CMakeFiles/bench_ablation_parameterization.dir/bench_ablation_parameterization.cc.o.d"
+  "bench_ablation_parameterization"
+  "bench_ablation_parameterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parameterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_distributions.dir/bench_appendix_distributions.cc.o"
+  "CMakeFiles/bench_appendix_distributions.dir/bench_appendix_distributions.cc.o.d"
+  "bench_appendix_distributions"
+  "bench_appendix_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_training.dir/bench_micro_training.cc.o"
+  "CMakeFiles/bench_micro_training.dir/bench_micro_training.cc.o.d"
+  "bench_micro_training"
+  "bench_micro_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_resemblance.dir/bench_table3_resemblance.cc.o"
+  "CMakeFiles/bench_table3_resemblance.dir/bench_table3_resemblance.cc.o.d"
+  "bench_table3_resemblance"
+  "bench_table3_resemblance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_resemblance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_utility.dir/bench_table4_utility.cc.o"
+  "CMakeFiles/bench_table4_utility.dir/bench_table4_utility.cc.o.d"
+  "bench_table4_utility"
+  "bench_table4_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

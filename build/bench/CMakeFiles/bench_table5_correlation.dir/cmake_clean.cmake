@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_correlation.dir/bench_table5_correlation.cc.o"
+  "CMakeFiles/bench_table5_correlation.dir/bench_table5_correlation.cc.o.d"
+  "bench_table5_correlation"
+  "bench_table5_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

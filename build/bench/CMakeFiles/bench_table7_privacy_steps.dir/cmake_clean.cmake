@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_privacy_steps.dir/bench_table7_privacy_steps.cc.o"
+  "CMakeFiles/bench_table7_privacy_steps.dir/bench_table7_privacy_steps.cc.o.d"
+  "bench_table7_privacy_steps"
+  "bench_table7_privacy_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_privacy_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

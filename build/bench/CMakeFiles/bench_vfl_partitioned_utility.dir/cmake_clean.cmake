@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vfl_partitioned_utility.dir/bench_vfl_partitioned_utility.cc.o"
+  "CMakeFiles/bench_vfl_partitioned_utility.dir/bench_vfl_partitioned_utility.cc.o.d"
+  "bench_vfl_partitioned_utility"
+  "bench_vfl_partitioned_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vfl_partitioned_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_vfl_partitioned_utility.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_vfl_partitioned_utility.
+# This may be replaced when dependencies are built.

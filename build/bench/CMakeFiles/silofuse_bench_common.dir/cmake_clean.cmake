@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silofuse_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/silofuse_bench_common.dir/bench_common.cc.o.d"
+  "libsilofuse_bench_common.a"
+  "libsilofuse_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silofuse_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

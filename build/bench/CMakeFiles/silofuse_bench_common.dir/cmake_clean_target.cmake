@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsilofuse_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/communication_audit.dir/communication_audit.cc.o"
+  "CMakeFiles/communication_audit.dir/communication_audit.cc.o.d"
+  "communication_audit"
+  "communication_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/communication_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finance_privacy.dir/finance_privacy.cc.o"
+  "CMakeFiles/finance_privacy.dir/finance_privacy.cc.o.d"
+  "finance_privacy"
+  "finance_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finance_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healthcare_silos.dir/healthcare_silos.cc.o"
+  "CMakeFiles/healthcare_silos.dir/healthcare_silos.cc.o.d"
+  "healthcare_silos"
+  "healthcare_silos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healthcare_silos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for healthcare_silos.
+# This may be replaced when dependencies are built.

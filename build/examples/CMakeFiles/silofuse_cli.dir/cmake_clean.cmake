@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silofuse_cli.dir/silofuse_cli.cc.o"
+  "CMakeFiles/silofuse_cli.dir/silofuse_cli.cc.o.d"
+  "silofuse_cli"
+  "silofuse_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silofuse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

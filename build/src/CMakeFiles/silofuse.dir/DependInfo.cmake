@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/archive.cc" "src/CMakeFiles/silofuse.dir/common/archive.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/common/archive.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/silofuse.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/silofuse.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/silofuse.dir/common/status.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/silofuse.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/silofuse.cc" "src/CMakeFiles/silofuse.dir/core/silofuse.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/core/silofuse.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/silofuse.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/generators/copula_generator.cc" "src/CMakeFiles/silofuse.dir/data/generators/copula_generator.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/data/generators/copula_generator.cc.o.d"
+  "/root/repo/src/data/generators/paper_datasets.cc" "src/CMakeFiles/silofuse.dir/data/generators/paper_datasets.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/data/generators/paper_datasets.cc.o.d"
+  "/root/repo/src/data/mixed_encoder.cc" "src/CMakeFiles/silofuse.dir/data/mixed_encoder.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/data/mixed_encoder.cc.o.d"
+  "/root/repo/src/data/scalers.cc" "src/CMakeFiles/silofuse.dir/data/scalers.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/data/scalers.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/silofuse.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/silofuse.dir/data/split.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/data/split.cc.o.d"
+  "/root/repo/src/data/table.cc" "src/CMakeFiles/silofuse.dir/data/table.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/data/table.cc.o.d"
+  "/root/repo/src/diffusion/gaussian_ddpm.cc" "src/CMakeFiles/silofuse.dir/diffusion/gaussian_ddpm.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/diffusion/gaussian_ddpm.cc.o.d"
+  "/root/repo/src/diffusion/multinomial_ddpm.cc" "src/CMakeFiles/silofuse.dir/diffusion/multinomial_ddpm.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/diffusion/multinomial_ddpm.cc.o.d"
+  "/root/repo/src/diffusion/schedule.cc" "src/CMakeFiles/silofuse.dir/diffusion/schedule.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/diffusion/schedule.cc.o.d"
+  "/root/repo/src/diffusion/time_embedding.cc" "src/CMakeFiles/silofuse.dir/diffusion/time_embedding.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/diffusion/time_embedding.cc.o.d"
+  "/root/repo/src/distributed/channel.cc" "src/CMakeFiles/silofuse.dir/distributed/channel.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/distributed/channel.cc.o.d"
+  "/root/repo/src/distributed/client.cc" "src/CMakeFiles/silofuse.dir/distributed/client.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/distributed/client.cc.o.d"
+  "/root/repo/src/distributed/coordinator.cc" "src/CMakeFiles/silofuse.dir/distributed/coordinator.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/distributed/coordinator.cc.o.d"
+  "/root/repo/src/distributed/e2e_distributed.cc" "src/CMakeFiles/silofuse.dir/distributed/e2e_distributed.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/distributed/e2e_distributed.cc.o.d"
+  "/root/repo/src/distributed/partition.cc" "src/CMakeFiles/silofuse.dir/distributed/partition.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/distributed/partition.cc.o.d"
+  "/root/repo/src/distributed/vfl.cc" "src/CMakeFiles/silofuse.dir/distributed/vfl.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/distributed/vfl.cc.o.d"
+  "/root/repo/src/metrics/association.cc" "src/CMakeFiles/silofuse.dir/metrics/association.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/metrics/association.cc.o.d"
+  "/root/repo/src/metrics/distribution_report.cc" "src/CMakeFiles/silofuse.dir/metrics/distribution_report.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/metrics/distribution_report.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/silofuse.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/metrics/report.cc.o.d"
+  "/root/repo/src/metrics/resemblance.cc" "src/CMakeFiles/silofuse.dir/metrics/resemblance.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/metrics/resemblance.cc.o.d"
+  "/root/repo/src/metrics/utility.cc" "src/CMakeFiles/silofuse.dir/metrics/utility.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/metrics/utility.cc.o.d"
+  "/root/repo/src/ml/eval.cc" "src/CMakeFiles/silofuse.dir/ml/eval.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/ml/eval.cc.o.d"
+  "/root/repo/src/ml/gbt.cc" "src/CMakeFiles/silofuse.dir/ml/gbt.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/ml/gbt.cc.o.d"
+  "/root/repo/src/models/autoencoder.cc" "src/CMakeFiles/silofuse.dir/models/autoencoder.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/models/autoencoder.cc.o.d"
+  "/root/repo/src/models/e2e.cc" "src/CMakeFiles/silofuse.dir/models/e2e.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/models/e2e.cc.o.d"
+  "/root/repo/src/models/gan.cc" "src/CMakeFiles/silofuse.dir/models/gan.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/models/gan.cc.o.d"
+  "/root/repo/src/models/latent_diffusion.cc" "src/CMakeFiles/silofuse.dir/models/latent_diffusion.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/models/latent_diffusion.cc.o.d"
+  "/root/repo/src/models/synthesizer.cc" "src/CMakeFiles/silofuse.dir/models/synthesizer.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/models/synthesizer.cc.o.d"
+  "/root/repo/src/models/tabddpm.cc" "src/CMakeFiles/silofuse.dir/models/tabddpm.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/models/tabddpm.cc.o.d"
+  "/root/repo/src/nn/activations.cc" "src/CMakeFiles/silofuse.dir/nn/activations.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/nn/activations.cc.o.d"
+  "/root/repo/src/nn/conv1d.cc" "src/CMakeFiles/silofuse.dir/nn/conv1d.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/nn/conv1d.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/silofuse.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/CMakeFiles/silofuse.dir/nn/layer_norm.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/nn/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/silofuse.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/CMakeFiles/silofuse.dir/nn/losses.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/nn/losses.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/silofuse.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/privacy/attacks.cc" "src/CMakeFiles/silofuse.dir/privacy/attacks.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/privacy/attacks.cc.o.d"
+  "/root/repo/src/privacy/neighbors.cc" "src/CMakeFiles/silofuse.dir/privacy/neighbors.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/privacy/neighbors.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/CMakeFiles/silofuse.dir/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/tensor/matrix.cc.o.d"
+  "/root/repo/src/tensor/matrix_io.cc" "src/CMakeFiles/silofuse.dir/tensor/matrix_io.cc.o" "gcc" "src/CMakeFiles/silofuse.dir/tensor/matrix_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_report_test.dir/distribution_report_test.cc.o"
+  "CMakeFiles/distribution_report_test.dir/distribution_report_test.cc.o.d"
+  "distribution_report_test"
+  "distribution_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

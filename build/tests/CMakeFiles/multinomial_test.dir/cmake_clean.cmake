@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multinomial_test.dir/multinomial_test.cc.o"
+  "CMakeFiles/multinomial_test.dir/multinomial_test.cc.o.d"
+  "multinomial_test"
+  "multinomial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multinomial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

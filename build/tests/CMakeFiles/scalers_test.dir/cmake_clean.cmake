@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalers_test.dir/scalers_test.cc.o"
+  "CMakeFiles/scalers_test.dir/scalers_test.cc.o.d"
+  "scalers_test"
+  "scalers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

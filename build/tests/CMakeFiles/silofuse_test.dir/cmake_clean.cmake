@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silofuse_test.dir/silofuse_test.cc.o"
+  "CMakeFiles/silofuse_test.dir/silofuse_test.cc.o.d"
+  "silofuse_test"
+  "silofuse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silofuse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfl_test.dir/vfl_test.cc.o"
+  "CMakeFiles/vfl_test.dir/vfl_test.cc.o.d"
+  "vfl_test"
+  "vfl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
