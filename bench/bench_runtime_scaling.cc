@@ -1,0 +1,154 @@
+// Runtime scaling microbenchmark: serial vs pooled GEMM and batch-parallel
+// GaussianDdpm::Sample at 1/2/4/8 threads. Writes a BENCH_runtime.json
+// summary (and prints it) so the perf trajectory is tracked from PR to PR.
+//
+// Also asserts the runtime's determinism contract end to end: the 512^3
+// GEMM and the full DDPM sampling trajectory must be byte-identical at
+// every thread count. A speedup only counts if the answer is unchanged.
+//
+// Honors SILOFUSE_BENCH_SCALE (>= 0.1) to shrink/grow the workload.
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "diffusion/gaussian_ddpm.h"
+#include "runtime/parallel_for.h"
+#include "tensor/matrix.h"
+
+using namespace silofuse;
+
+namespace {
+
+double MedianMs(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+template <typename Fn>
+double TimeMs(int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  return MedianMs(std::move(samples));
+}
+
+bool BytesEqual(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+std::string Json(const std::vector<int>& threads,
+                 const std::vector<double>& gemm_ms,
+                 const std::vector<double>& sample_ms, int gemm_dim,
+                 int sample_rows, bool identical) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"runtime_scaling\",\n";
+  out << "  \"gemm_dim\": " << gemm_dim << ",\n";
+  out << "  \"sample_rows\": " << sample_rows << ",\n";
+  out << "  \"results_identical_across_threads\": "
+      << (identical ? "true" : "false") << ",\n";
+  out << "  \"threads\": [";
+  for (size_t i = 0; i < threads.size(); ++i) {
+    out << (i ? ", " : "") << threads[i];
+  }
+  out << "],\n  \"gemm_ms\": [";
+  for (size_t i = 0; i < gemm_ms.size(); ++i) {
+    out << (i ? ", " : "") << gemm_ms[i];
+  }
+  out << "],\n  \"ddpm_sample_ms\": [";
+  for (size_t i = 0; i < sample_ms.size(); ++i) {
+    out << (i ? ", " : "") << sample_ms[i];
+  }
+  out << "],\n  \"gemm_speedup_vs_1t\": [";
+  for (size_t i = 0; i < gemm_ms.size(); ++i) {
+    out << (i ? ", " : "") << gemm_ms[0] / gemm_ms[i];
+  }
+  out << "],\n  \"ddpm_sample_speedup_vs_1t\": [";
+  for (size_t i = 0; i < sample_ms.size(); ++i) {
+    out << (i ? ", " : "") << sample_ms[0] / sample_ms[i];
+  }
+  out << "]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::Scale();
+  const int gemm_dim = std::max(64, static_cast<int>(512 * std::min(1.0, scale)));
+  const int sample_rows = std::max(32, static_cast<int>(256 * std::min(1.0, scale)));
+  const int gemm_reps = 5;
+  const int sample_reps = 3;
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  std::cout << "== runtime scaling: GEMM " << gemm_dim << "^3 + DDPM sample ("
+            << sample_rows << " rows), hardware_concurrency="
+            << std::thread::hardware_concurrency() << " ==\n";
+
+  Rng rng(7);
+  const Matrix a = Matrix::RandomNormal(gemm_dim, gemm_dim, &rng);
+  const Matrix b = Matrix::RandomNormal(gemm_dim, gemm_dim, &rng);
+
+  GaussianDdpmConfig config;
+  config.data_dim = 16;
+  config.num_timesteps = 50;
+  config.hidden_dim = 128;
+  config.num_layers = 4;
+  config.dropout = 0.0f;
+  Rng model_rng(11);
+  GaussianDdpm ddpm(config, &model_rng);
+
+  std::vector<double> gemm_ms, sample_ms;
+  Matrix gemm_ref, sample_ref;
+  bool identical = true;
+
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    const int threads = thread_counts[i];
+    SetNumThreads(threads);
+
+    Matrix gemm_out;
+    gemm_ms.push_back(TimeMs(gemm_reps, [&] { gemm_out = a.MatMul(b); }));
+
+    Matrix sample_out;
+    sample_ms.push_back(TimeMs(sample_reps, [&] {
+      Rng sample_rng(123);  // fixed seed: trajectories must agree
+      sample_out = ddpm.Sample(sample_rows, /*steps=*/10, &sample_rng);
+    }));
+
+    if (i == 0) {
+      gemm_ref = gemm_out;
+      sample_ref = sample_out;
+    } else if (!BytesEqual(gemm_out, gemm_ref) ||
+               !BytesEqual(sample_out, sample_ref)) {
+      identical = false;
+      std::cerr << "DETERMINISM VIOLATION at " << threads << " threads\n";
+    }
+
+    std::cout << "  threads=" << threads << "  gemm=" << gemm_ms.back()
+              << " ms (x" << gemm_ms.front() / gemm_ms.back()
+              << ")  ddpm_sample=" << sample_ms.back() << " ms (x"
+              << sample_ms.front() / sample_ms.back() << ")\n";
+  }
+  SetNumThreads(1);
+
+  const std::string json = Json(thread_counts, gemm_ms, sample_ms, gemm_dim,
+                                sample_rows, identical);
+  std::ofstream("BENCH_runtime.json") << json;
+  std::cout << "\n" << json << "(written to BENCH_runtime.json)\n";
+  return identical ? 0 : 1;
+}

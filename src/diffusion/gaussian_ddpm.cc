@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "diffusion/time_embedding.h"
+#include "runtime/parallel_for.h"
 #include "tensor/matrix_io.h"
 #include "nn/activations.h"
 #include "nn/dropout.h"
@@ -16,6 +17,20 @@ namespace {
 // x0 estimates are clamped during sampling so an occasional bad prediction at
 // high noise levels cannot blow up the trajectory.
 constexpr float kX0Clamp = 10.0f;
+
+// Batches below this element count run the per-row loops serially; each
+// row is independent, so the parallel results are bit-exact either way.
+constexpr int64_t kRowParallelThreshold = int64_t{1} << 12;
+
+// Row-blocked dispatch for the noising/denoising loops.
+template <typename Fn>
+void ForBatchRows(int rows, int cols, Fn&& fn) {
+  if (rows > 1 && static_cast<int64_t>(rows) * cols >= kRowParallelThreshold) {
+    ParallelFor(0, rows, 1, fn);
+  } else if (rows > 0) {
+    fn(0, rows);
+  }
+}
 
 }  // namespace
 
@@ -50,16 +65,18 @@ Matrix GaussianDdpm::ForwardProcess(const Matrix& z0, const std::vector<int>& t,
   SF_CHECK_EQ(z0.rows(), static_cast<int>(t.size()));
   SF_CHECK(z0.rows() == eps.rows() && z0.cols() == eps.cols());
   Matrix out(z0.rows(), z0.cols());
-  for (int r = 0; r < z0.rows(); ++r) {
-    const double s0 = schedule_.sqrt_alpha_bar(t[r]);
-    const double s1 = schedule_.sqrt_one_minus_alpha_bar(t[r]);
-    const float* z = z0.row_data(r);
-    const float* e = eps.row_data(r);
-    float* o = out.row_data(r);
-    for (int c = 0; c < z0.cols(); ++c) {
-      o[c] = static_cast<float>(s0 * z[c] + s1 * e[c]);
+  ForBatchRows(z0.rows(), z0.cols(), [&](int64_t r0, int64_t r1) {
+    for (int r = static_cast<int>(r0); r < r1; ++r) {
+      const double s0 = schedule_.sqrt_alpha_bar(t[r]);
+      const double s1 = schedule_.sqrt_one_minus_alpha_bar(t[r]);
+      const float* z = z0.row_data(r);
+      const float* e = eps.row_data(r);
+      float* o = out.row_data(r);
+      for (int c = 0; c < z0.cols(); ++c) {
+        o[c] = static_cast<float>(s0 * z[c] + s1 * e[c]);
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -86,16 +103,18 @@ Matrix GaussianDdpm::PredictionToX0(const Matrix& prediction,
                                     const std::vector<int>& t) const {
   if (config_.predict == DiffusionPrediction::kX0) return prediction;
   Matrix x0(z_t.rows(), z_t.cols());
-  for (int r = 0; r < z_t.rows(); ++r) {
-    const double s0 = schedule_.sqrt_alpha_bar(t[r]);
-    const double s1 = schedule_.sqrt_one_minus_alpha_bar(t[r]);
-    const float* z = z_t.row_data(r);
-    const float* e = prediction.row_data(r);
-    float* x = x0.row_data(r);
-    for (int c = 0; c < z_t.cols(); ++c) {
-      x[c] = static_cast<float>((z[c] - s1 * e[c]) / s0);
+  ForBatchRows(z_t.rows(), z_t.cols(), [&](int64_t r0, int64_t r1) {
+    for (int r = static_cast<int>(r0); r < r1; ++r) {
+      const double s0 = schedule_.sqrt_alpha_bar(t[r]);
+      const double s1 = schedule_.sqrt_one_minus_alpha_bar(t[r]);
+      const float* z = z_t.row_data(r);
+      const float* e = prediction.row_data(r);
+      float* x = x0.row_data(r);
+      for (int c = 0; c < z_t.cols(); ++c) {
+        x[c] = static_cast<float>((z[c] - s1 * e[c]) / s0);
+      }
     }
-  }
+  });
   return x0;
 }
 
@@ -204,19 +223,28 @@ Matrix GaussianDdpm::Sample(int n, int steps, Rng* rng, double eta) {
         std::sqrt(std::max(0.0, 1.0 - abar_prev - sigma * sigma));
     const double s0 = std::sqrt(abar_t);
     const double s1 = std::sqrt(1.0 - abar_t);
+    // Pre-draw the step's noise on the caller thread: the seed-pinned Rng
+    // is consumed in the same row-major element order as the serial
+    // sampler, so the batch loop below can fan out over any number of
+    // threads without changing the trajectory for a fixed seed.
+    Matrix noise;
+    if (sigma > 0.0) noise = Matrix::RandomNormal(n, config_.data_dim, rng);
     Matrix next(n, config_.data_dim);
-    for (int r = 0; r < n; ++r) {
-      const float* xr = x.row_data(r);
-      const float* x0r = x0.row_data(r);
-      float* nr = next.row_data(r);
-      for (int c = 0; c < config_.data_dim; ++c) {
-        // Recovered eps from the (clamped) x0 estimate.
-        const double eps_hat = (xr[c] - s0 * x0r[c]) / s1;
-        double v = coef_x0 * x0r[c] + dir_coef * eps_hat;
-        if (sigma > 0.0) v += sigma * rng->Normal();
-        nr[c] = static_cast<float>(v);
+    ForBatchRows(n, config_.data_dim, [&](int64_t r0, int64_t r1) {
+      for (int r = static_cast<int>(r0); r < r1; ++r) {
+        const float* xr = x.row_data(r);
+        const float* x0r = x0.row_data(r);
+        const float* zr = sigma > 0.0 ? noise.row_data(r) : nullptr;
+        float* nr = next.row_data(r);
+        for (int c = 0; c < config_.data_dim; ++c) {
+          // Recovered eps from the (clamped) x0 estimate.
+          const double eps_hat = (xr[c] - s0 * x0r[c]) / s1;
+          double v = coef_x0 * x0r[c] + dir_coef * eps_hat;
+          if (zr != nullptr) v += sigma * zr[c];
+          nr[c] = static_cast<float>(v);
+        }
       }
-    }
+    });
     x = std::move(next);
   }
   return x;

@@ -2,11 +2,29 @@
 
 #include <cmath>
 
+#include "runtime/parallel_for.h"
+
 namespace silofuse {
 namespace {
 
 constexpr float kGeluCoef = 0.7978845608028654f;  // sqrt(2/pi)
 constexpr float kGeluCubic = 0.044715f;
+
+// Activations are elementwise and transcendental-heavy (tanh/exp), so they
+// parallelize at the same threshold as the Matrix elementwise kernels.
+constexpr int64_t kParallelThreshold = int64_t{1} << 14;
+constexpr int64_t kParallelGrain = int64_t{1} << 12;
+
+// Runs fn(lo, hi) over [0, n), on the pool for large activations.
+template <typename Fn>
+void ForActivation(size_t n, Fn&& fn) {
+  const int64_t count = static_cast<int64_t>(n);
+  if (count >= kParallelThreshold) {
+    ParallelFor(0, count, kParallelGrain, fn);
+  } else if (count > 0) {
+    fn(0, count);
+  }
+}
 
 }  // namespace
 
@@ -28,27 +46,25 @@ template <typename Fn>
 Matrix ApplyFast(const Matrix& input, Fn fn) {
   Matrix out = input;
   float* v = out.data();
-  const size_t n = out.size();
-  for (size_t i = 0; i < n; ++i) v[i] = fn(v[i]);
+  ForActivation(out.size(), [v, fn](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) v[i] = fn(v[i]);
+  });
   return out;
 }
 }  // namespace
 
 Matrix Gelu::Forward(const Matrix& input, bool /*training*/) {
   cached_input_ = input;
-  Matrix out = input;
-  float* v = out.data();
-  const size_t n = out.size();
-  for (size_t i = 0; i < n; ++i) v[i] = GeluScalar(v[i]);
-  return out;
+  return ApplyFast(input, GeluScalar);
 }
 
 Matrix Gelu::Backward(const Matrix& grad_output) {
   Matrix grad = grad_output;
   float* g = grad.data();
   const float* x = cached_input_.data();
-  const size_t n = grad.size();
-  for (size_t i = 0; i < n; ++i) g[i] *= GeluGradScalar(x[i]);
+  ForActivation(grad.size(), [g, x](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) g[i] *= GeluGradScalar(x[i]);
+  });
   return grad;
 }
 
@@ -61,7 +77,9 @@ Matrix Relu::Backward(const Matrix& grad_output) {
   Matrix grad = grad_output;
   float* g = grad.data();
   const float* x = cached_input_.data();
-  for (size_t i = 0; i < grad.size(); ++i) g[i] = x[i] > 0.0f ? g[i] : 0.0f;
+  ForActivation(grad.size(), [g, x](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) g[i] = x[i] > 0.0f ? g[i] : 0.0f;
+  });
   return grad;
 }
 
@@ -76,9 +94,11 @@ Matrix LeakyRelu::Backward(const Matrix& grad_output) {
   float* g = grad.data();
   const float* x = cached_input_.data();
   const float slope = slope_;
-  for (size_t i = 0; i < grad.size(); ++i) {
-    if (x[i] <= 0.0f) g[i] *= slope;
-  }
+  ForActivation(grad.size(), [g, x, slope](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (x[i] <= 0.0f) g[i] *= slope;
+    }
+  });
   return grad;
 }
 
@@ -91,7 +111,9 @@ Matrix Tanh::Backward(const Matrix& grad_output) {
   Matrix grad = grad_output;
   float* g = grad.data();
   const float* y = cached_output_.data();
-  for (size_t i = 0; i < grad.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+  ForActivation(grad.size(), [g, y](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) g[i] *= 1.0f - y[i] * y[i];
+  });
   return grad;
 }
 
@@ -107,7 +129,9 @@ Matrix Sigmoid::Backward(const Matrix& grad_output) {
   Matrix grad = grad_output;
   float* g = grad.data();
   const float* y = cached_output_.data();
-  for (size_t i = 0; i < grad.size(); ++i) g[i] *= y[i] * (1.0f - y[i]);
+  ForActivation(grad.size(), [g, y](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) g[i] *= y[i] * (1.0f - y[i]);
+  });
   return grad;
 }
 

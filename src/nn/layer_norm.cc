@@ -2,7 +2,18 @@
 
 #include <cmath>
 
+#include "runtime/parallel_for.h"
+
 namespace silofuse {
+namespace {
+
+// Rows normalize independently, so Forward parallelizes row-blocked with
+// bit-exact results. Backward stays serial: it accumulates dgamma/dbeta
+// across rows and splitting that sum would perturb the float accumulation
+// order.
+constexpr int64_t kLayerNormParallelThreshold = int64_t{1} << 14;
+
+}  // namespace
 
 LayerNorm::LayerNorm(int features, float eps)
     : features_(features), eps_(eps) {
@@ -17,7 +28,8 @@ Matrix LayerNorm::Forward(const Matrix& input, bool /*training*/) {
   cached_xhat_ = Matrix(rows, features_);
   cached_inv_std_.assign(rows, 0.0f);
   Matrix out(rows, features_);
-  for (int r = 0; r < rows; ++r) {
+  auto rows_fn = [this, &input, &out](int64_t r0, int64_t r1) {
+  for (int r = static_cast<int>(r0); r < r1; ++r) {
     const float* x = input.row_data(r);
     double mean = 0.0;
     for (int c = 0; c < features_; ++c) mean += x[c];
@@ -38,6 +50,12 @@ Matrix LayerNorm::Forward(const Matrix& input, bool /*training*/) {
       xhat[c] = (x[c] - static_cast<float>(mean)) * inv_std;
       y[c] = xhat[c] * g[c] + b[c];
     }
+  }
+  };
+  if (static_cast<int64_t>(input.size()) >= kLayerNormParallelThreshold) {
+    ParallelFor(0, rows, 1, rows_fn);
+  } else {
+    rows_fn(0, rows);
   }
   return out;
 }

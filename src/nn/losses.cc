@@ -3,24 +3,42 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "runtime/parallel_for.h"
 
 namespace silofuse {
+namespace {
+
+// Losses over batches smaller than this keep the original straight-line
+// accumulation (bit-exact with the seed); above it, per-chunk double
+// partials are combined in fixed chunk order so the loss is identical at
+// any thread count.
+constexpr int64_t kLossParallelThreshold = int64_t{1} << 14;
+constexpr int64_t kLossGrain = int64_t{1} << 13;
+
+}  // namespace
 
 double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
   SF_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols());
   const size_t n = pred.size();
   SF_CHECK_GT(n, 0u);
   *grad = Matrix(pred.rows(), pred.cols());
-  double loss = 0.0;
   const float* p = pred.data();
   const float* t = target.data();
   float* g = grad->data();
   const float scale = 2.0f / static_cast<float>(n);
-  for (size_t i = 0; i < n; ++i) {
-    const double d = static_cast<double>(p[i]) - t[i];
-    loss += d * d;
-    g[i] = scale * static_cast<float>(d);
-  }
+  const auto chunk = [p, t, g, scale](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      const double d = static_cast<double>(p[i]) - t[i];
+      acc += d * d;
+      g[i] = scale * static_cast<float>(d);
+    }
+    return acc;
+  };
+  const int64_t count = static_cast<int64_t>(n);
+  const double loss = count >= kLossParallelThreshold
+                          ? ParallelReduceSum(0, count, kLossGrain, chunk)
+                          : chunk(0, count);
   return loss / static_cast<double>(n);
 }
 
@@ -48,7 +66,8 @@ double BceWithLogitsLoss(const Matrix& logits, const Matrix& targets,
 
 Matrix SoftmaxRows(const Matrix& logits) {
   Matrix out(logits.rows(), logits.cols());
-  for (int r = 0; r < logits.rows(); ++r) {
+  auto rows_fn = [&logits, &out](int64_t r0, int64_t r1) {
+  for (int r = static_cast<int>(r0); r < r1; ++r) {
     const float* x = logits.row_data(r);
     float* y = out.row_data(r);
     float max_v = x[0];
@@ -61,12 +80,19 @@ Matrix SoftmaxRows(const Matrix& logits) {
     const float inv = static_cast<float>(1.0 / sum);
     for (int c = 0; c < logits.cols(); ++c) y[c] *= inv;
   }
+  };
+  if (static_cast<int64_t>(logits.size()) >= kLossParallelThreshold) {
+    ParallelFor(0, logits.rows(), 1, rows_fn);
+  } else {
+    rows_fn(0, logits.rows());
+  }
   return out;
 }
 
 Matrix LogSoftmaxRows(const Matrix& logits) {
   Matrix out(logits.rows(), logits.cols());
-  for (int r = 0; r < logits.rows(); ++r) {
+  auto rows_fn = [&logits, &out](int64_t r0, int64_t r1) {
+  for (int r = static_cast<int>(r0); r < r1; ++r) {
     const float* x = logits.row_data(r);
     float* y = out.row_data(r);
     float max_v = x[0];
@@ -75,6 +101,12 @@ Matrix LogSoftmaxRows(const Matrix& logits) {
     for (int c = 0; c < logits.cols(); ++c) sum += std::exp(x[c] - max_v);
     const float log_sum = max_v + static_cast<float>(std::log(sum));
     for (int c = 0; c < logits.cols(); ++c) y[c] = x[c] - log_sum;
+  }
+  };
+  if (static_cast<int64_t>(logits.size()) >= kLossParallelThreshold) {
+    ParallelFor(0, logits.rows(), 1, rows_fn);
+  } else {
+    rows_fn(0, logits.rows());
   }
   return out;
 }

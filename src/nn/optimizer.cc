@@ -2,7 +2,17 @@
 
 #include <cmath>
 
+#include "runtime/parallel_for.h"
+
 namespace silofuse {
+namespace {
+
+// Adam's per-element update is independent across elements, so large
+// parameter tensors update row-blocked on the pool with bit-exact results.
+constexpr int64_t kStepParallelThreshold = int64_t{1} << 14;
+constexpr int64_t kStepGrain = int64_t{1} << 12;
+
+}  // namespace
 
 double Optimizer::ClipGradNorm(double max_norm) {
   double total = 0.0;
@@ -63,13 +73,20 @@ void Adam::Step() {
     const float* grad = p->grad.data();
     float* m = m_[i].data();
     float* v = v_[i].data();
-    const size_t n = p->value.size();
-    for (size_t j = 0; j < n; ++j) {
-      float g = grad[j];
-      if (weight_decay_ > 0.0f) g += weight_decay_ * value[j];
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
-      value[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps_);
+    const int64_t n = static_cast<int64_t>(p->value.size());
+    auto update = [this, value, grad, m, v, alpha](int64_t lo, int64_t hi) {
+      for (int64_t j = lo; j < hi; ++j) {
+        float g = grad[j];
+        if (weight_decay_ > 0.0f) g += weight_decay_ * value[j];
+        m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+        v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+        value[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps_);
+      }
+    };
+    if (n >= kStepParallelThreshold) {
+      ParallelFor(0, n, kStepGrain, update);
+    } else {
+      update(0, n);
     }
   }
 }

@@ -1,0 +1,64 @@
+#include "runtime/thread_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace silofuse {
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  SF_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  SF_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Submitting while the destructor drains is legal from worker tasks:
+    // the submitting worker is still in its loop, so the queue is drained
+    // before the pool joins. Only non-worker submits require the pool to
+    // be outside its destructor (a plain lifetime rule).
+    SF_CHECK(!stop_ || InWorker()) << "Submit on a stopped ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::InWorker() { return tls_in_worker; }
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain remaining tasks even when stopping, so ~ThreadPool never
+      // abandons submitted work.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace silofuse

@@ -1,0 +1,56 @@
+#ifndef SILOFUSE_RUNTIME_THREAD_POOL_H_
+#define SILOFUSE_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace silofuse {
+
+/// Fixed-size worker pool with a FIFO task queue.
+///
+/// This is the execution substrate of the runtime layer; user code should
+/// normally go through `ParallelFor` / `ParallelReduceSum` (parallel_for.h)
+/// rather than submitting raw tasks. Workers are started in the constructor
+/// and joined in the destructor after draining the queue. Tasks must not
+/// throw; the parallel_for layer catches and forwards exceptions to the
+/// calling thread before they reach the worker loop.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` (>= 1) workers.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker. Safe to call from any
+  /// thread, including pool workers (the queue never blocks on submit), so
+  /// nested submission cannot deadlock.
+  void Submit(std::function<void()> task);
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Used by
+  /// parallel_for to run nested parallel regions inline instead of waiting
+  /// on a pool that may be saturated by the caller itself.
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_RUNTIME_THREAD_POOL_H_

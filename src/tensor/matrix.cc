@@ -4,7 +4,48 @@
 #include <cmath>
 #include <sstream>
 
+#include "runtime/parallel_for.h"
+
 namespace silofuse {
+namespace {
+
+// Work thresholds below which kernels keep the original serial path:
+// dispatching onto the pool costs a few microseconds, which swamps small
+// shapes. Thresholds are compared against thread-count-independent
+// quantities only, so whether a kernel parallelizes never depends on the
+// pool configuration (part of the determinism contract in parallel_for.h).
+constexpr int64_t kGemmMacThreshold = int64_t{1} << 16;  // multiply-adds
+constexpr int64_t kElemThreshold = int64_t{1} << 14;     // elements
+constexpr int64_t kElemGrain = int64_t{1} << 12;
+// Scalar reductions switch to fixed-chunk double partials at this size;
+// below it the original straight-line accumulation is preserved bit-exact.
+constexpr int64_t kReduceThreshold = int64_t{1} << 15;
+constexpr int64_t kReduceGrain = int64_t{1} << 15;
+
+// Runs fn(lo, hi) over [0, n) element indices, on the pool when the array
+// is large enough. Each chunk must write a disjoint slice.
+template <typename Fn>
+void ForElements(size_t n, Fn&& fn) {
+  const int64_t count = static_cast<int64_t>(n);
+  if (count >= kElemThreshold) {
+    ParallelFor(0, count, kElemGrain, fn);
+  } else if (count > 0) {
+    fn(0, count);
+  }
+}
+
+// Runs fn(r0, r1) over [0, rows) row indices when the whole matrix holds
+// enough elements to amortize dispatch.
+template <typename Fn>
+void ForRows(int rows, size_t total_elems, Fn&& fn) {
+  if (rows > 1 && static_cast<int64_t>(total_elems) >= kElemThreshold) {
+    ParallelFor(0, rows, 1, fn);
+  } else if (rows > 0) {
+    fn(0, rows);
+  }
+}
+
+}  // namespace
 
 Matrix Matrix::FromVector(int rows, int cols, std::vector<float> values) {
   SF_CHECK_EQ(static_cast<size_t>(rows) * cols, values.size());
@@ -40,12 +81,14 @@ Matrix Matrix::Identity(int n) {
 
 Matrix Matrix::Transpose() const {
   Matrix out(cols_, rows_);
-  for (int r = 0; r < rows_; ++r) {
-    const float* src = row_data(r);
-    for (int c = 0; c < cols_; ++c) {
-      out.data_[static_cast<size_t>(c) * rows_ + r] = src[c];
+  ForRows(rows_, data_.size(), [this, &out](int64_t r0, int64_t r1) {
+    for (int r = static_cast<int>(r0); r < r1; ++r) {
+      const float* src = row_data(r);
+      for (int c = 0; c < cols_; ++c) {
+        out.data_[static_cast<size_t>(c) * rows_ + r] = src[c];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -167,32 +210,54 @@ Matrix Matrix::Scale(float scalar) const {
 
 Matrix Matrix::AddScalar(float scalar) const {
   Matrix out = *this;
-  for (float& v : out.data_) v += scalar;
+  float* v = out.data_.data();
+  ForElements(out.data_.size(), [v, scalar](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) v[i] += scalar;
+  });
   return out;
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
   CheckSameShape(*this, other);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  ForElements(data_.size(), [a, b](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) a[i] += b[i];
+  });
 }
 
 void Matrix::SubInPlace(const Matrix& other) {
   CheckSameShape(*this, other);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  ForElements(data_.size(), [a, b](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) a[i] -= b[i];
+  });
 }
 
 void Matrix::MulInPlace(const Matrix& other) {
   CheckSameShape(*this, other);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  ForElements(data_.size(), [a, b](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) a[i] *= b[i];
+  });
 }
 
 void Matrix::ScaleInPlace(float scalar) {
-  for (float& v : data_) v *= scalar;
+  float* v = data_.data();
+  ForElements(data_.size(), [v, scalar](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) v[i] *= scalar;
+  });
 }
 
 void Matrix::Axpy(float scalar, const Matrix& other) {
   CheckSameShape(*this, other);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scalar * other.data_[i];
+  float* a = data_.data();
+  const float* b = other.data_.data();
+  ForElements(data_.size(), [a, b, scalar](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) a[i] += scalar * b[i];
+  });
 }
 
 void Matrix::Fill(float value) {
@@ -203,11 +268,13 @@ Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
   SF_CHECK_EQ(row.rows(), 1);
   SF_CHECK_EQ(row.cols(), cols_);
   Matrix out = *this;
-  for (int r = 0; r < rows_; ++r) {
-    float* dst = out.row_data(r);
-    const float* src = row.data();
-    for (int c = 0; c < cols_; ++c) dst[c] += src[c];
-  }
+  const float* src = row.data();
+  ForRows(rows_, data_.size(), [this, &out, src](int64_t r0, int64_t r1) {
+    for (int r = static_cast<int>(r0); r < r1; ++r) {
+      float* dst = out.row_data(r);
+      for (int c = 0; c < cols_; ++c) dst[c] += src[c];
+    }
+  });
   return out;
 }
 
@@ -215,17 +282,22 @@ Matrix Matrix::MulRowBroadcast(const Matrix& row) const {
   SF_CHECK_EQ(row.rows(), 1);
   SF_CHECK_EQ(row.cols(), cols_);
   Matrix out = *this;
-  for (int r = 0; r < rows_; ++r) {
-    float* dst = out.row_data(r);
-    const float* src = row.data();
-    for (int c = 0; c < cols_; ++c) dst[c] *= src[c];
-  }
+  const float* src = row.data();
+  ForRows(rows_, data_.size(), [this, &out, src](int64_t r0, int64_t r1) {
+    for (int r = static_cast<int>(r0); r < r1; ++r) {
+      float* dst = out.row_data(r);
+      for (int c = 0; c < cols_; ++c) dst[c] *= src[c];
+    }
+  });
   return out;
 }
 
 Matrix Matrix::Apply(const std::function<float(float)>& fn) const {
   Matrix out = *this;
-  for (float& v : out.data_) v = fn(v);
+  float* v = out.data_.data();
+  ForElements(out.data_.size(), [v, &fn](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) v[i] = fn(v[i]);
+  });
   return out;
 }
 
@@ -235,15 +307,26 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   const int k_dim = cols_;
   const int n_dim = other.cols();
   // i-k-j loop order: the inner loop streams contiguous rows of `other`
-  // and `out`, which vectorizes well (keep it branch-free).
-  for (int i = 0; i < rows_; ++i) {
-    const float* a_row = row_data(i);
-    float* c_row = out.row_data(i);
-    for (int k = 0; k < k_dim; ++k) {
-      const float a = a_row[k];
-      const float* b_row = other.row_data(k);
-      for (int j = 0; j < n_dim; ++j) c_row[j] += a * b_row[j];
+  // and `out`, which vectorizes well (keep it branch-free). Row-blocked
+  // across the pool: every output row is produced by this exact kernel
+  // regardless of chunking, so results are byte-identical at any thread
+  // count.
+  auto kernel = [this, &other, &out, k_dim, n_dim](int64_t i0, int64_t i1) {
+    for (int i = static_cast<int>(i0); i < i1; ++i) {
+      const float* a_row = row_data(i);
+      float* c_row = out.row_data(i);
+      for (int k = 0; k < k_dim; ++k) {
+        const float a = a_row[k];
+        const float* b_row = other.row_data(k);
+        for (int j = 0; j < n_dim; ++j) c_row[j] += a * b_row[j];
+      }
     }
+  };
+  const int64_t macs = static_cast<int64_t>(rows_) * k_dim * n_dim;
+  if (rows_ > 1 && macs >= kGemmMacThreshold) {
+    ParallelFor(0, rows_, 1, kernel);
+  } else if (rows_ > 0) {
+    kernel(0, rows_);
   }
   return out;
 }
@@ -263,9 +346,21 @@ Matrix Matrix::MatMulTransposedB(const Matrix& other) const {
 }
 
 double Matrix::Sum() const {
-  double acc = 0.0;
-  for (float v : data_) acc += v;
-  return acc;
+  const int64_t n = static_cast<int64_t>(data_.size());
+  const float* v = data_.data();
+  if (n < kReduceThreshold) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) acc += v[i];
+    return acc;
+  }
+  // Fixed-chunk double partials combined in chunk order: identical at any
+  // thread count (chunking depends only on n), within 1 ulp of the serial
+  // accumulation kept above for small matrices.
+  return ParallelReduceSum(0, n, kReduceGrain, [v](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) acc += v[i];
+    return acc;
+  });
 }
 
 double Matrix::Mean() const {
@@ -286,9 +381,19 @@ float Matrix::Max() const {
 Matrix Matrix::ColSum() const {
   Matrix out(1, cols_);
   std::vector<double> acc(cols_, 0.0);
-  for (int r = 0; r < rows_; ++r) {
-    const float* src = row_data(r);
-    for (int c = 0; c < cols_; ++c) acc[c] += src[c];
+  // Parallel over *column* ranges: each chunk owns a disjoint slice of the
+  // accumulators and still visits rows top-to-bottom, so every column's
+  // summation order matches the serial kernel exactly.
+  auto kernel = [this, &acc](int64_t c0, int64_t c1) {
+    for (int r = 0; r < rows_; ++r) {
+      const float* src = row_data(r);
+      for (int64_t c = c0; c < c1; ++c) acc[c] += src[c];
+    }
+  };
+  if (cols_ > 1 && static_cast<int64_t>(data_.size()) >= kElemThreshold) {
+    ParallelFor(0, cols_, 8, kernel);
+  } else if (cols_ > 0) {
+    kernel(0, cols_);
   }
   for (int c = 0; c < cols_; ++c) out.at(0, c) = static_cast<float>(acc[c]);
   return out;
@@ -305,12 +410,19 @@ Matrix Matrix::ColStd() const {
   SF_CHECK_GT(rows_, 0);
   Matrix mean = ColMean();
   std::vector<double> acc(cols_, 0.0);
-  for (int r = 0; r < rows_; ++r) {
-    const float* src = row_data(r);
-    for (int c = 0; c < cols_; ++c) {
-      double d = src[c] - mean.at(0, c);
-      acc[c] += d * d;
+  auto kernel = [this, &mean, &acc](int64_t c0, int64_t c1) {
+    for (int r = 0; r < rows_; ++r) {
+      const float* src = row_data(r);
+      for (int64_t c = c0; c < c1; ++c) {
+        double d = src[c] - mean.at(0, static_cast<int>(c));
+        acc[c] += d * d;
+      }
     }
+  };
+  if (cols_ > 1 && static_cast<int64_t>(data_.size()) >= kElemThreshold) {
+    ParallelFor(0, cols_, 8, kernel);
+  } else {
+    kernel(0, cols_);
   }
   Matrix out(1, cols_);
   for (int c = 0; c < cols_; ++c) {
@@ -321,19 +433,30 @@ Matrix Matrix::ColStd() const {
 
 Matrix Matrix::RowSum() const {
   Matrix out(rows_, 1);
-  for (int r = 0; r < rows_; ++r) {
-    const float* src = row_data(r);
-    double acc = 0.0;
-    for (int c = 0; c < cols_; ++c) acc += src[c];
-    out.at(r, 0) = static_cast<float>(acc);
-  }
+  ForRows(rows_, data_.size(), [this, &out](int64_t r0, int64_t r1) {
+    for (int r = static_cast<int>(r0); r < r1; ++r) {
+      const float* src = row_data(r);
+      double acc = 0.0;
+      for (int c = 0; c < cols_; ++c) acc += src[c];
+      out.at(r, 0) = static_cast<float>(acc);
+    }
+  });
   return out;
 }
 
 double Matrix::SquaredNorm() const {
-  double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
-  return acc;
+  const int64_t n = static_cast<int64_t>(data_.size());
+  const float* v = data_.data();
+  if (n < kReduceThreshold) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) acc += static_cast<double>(v[i]) * v[i];
+    return acc;
+  }
+  return ParallelReduceSum(0, n, kReduceGrain, [v](int64_t lo, int64_t hi) {
+    double acc = 0.0;
+    for (int64_t i = lo; i < hi; ++i) acc += static_cast<double>(v[i]) * v[i];
+    return acc;
+  });
 }
 
 int Matrix::RowArgMax(int r) const {

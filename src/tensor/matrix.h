@@ -19,6 +19,12 @@ namespace silofuse {
 /// SiloFuse models need (GEMM with transpose variants, broadcasts,
 /// reductions, row/column slicing). Accumulations that feed statistics use
 /// double internally.
+///
+/// Large kernels (GEMM, elementwise, broadcasts, row/column reductions)
+/// execute on the src/runtime thread pool; small shapes keep the serial
+/// path. Chunking never depends on the thread count, so every op returns
+/// byte-identical results whether SILOFUSE_NUM_THREADS is 1 or 64 — see
+/// runtime/parallel_for.h for the full determinism contract.
 class Matrix {
  public:
   /// Empty 0x0 matrix.

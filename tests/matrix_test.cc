@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "runtime/parallel_for.h"
+
 namespace silofuse {
 namespace {
 
@@ -201,6 +203,78 @@ TEST(MatrixTest, ApplySquares) {
   Matrix sq = a.Apply([](float v) { return v * v; });
   EXPECT_EQ(sq, Matrix::FromVector(1, 3, {1, 4, 9}));
 }
+
+// ---- Runtime determinism: parallel kernels must match serial byte-exactly.
+
+// Shapes straddling the parallel-dispatch thresholds in matrix.cc: tiny
+// (always serial), boundary (~2^14 elements), and comfortably parallel.
+struct GemmShape {
+  int m, k, n;
+};
+
+class MatrixParallelTest : public ::testing::TestWithParam<GemmShape> {
+ protected:
+  void TearDown() override { SetNumThreads(1); }
+};
+
+TEST_P(MatrixParallelTest, KernelsMatchSerialExactly) {
+  const GemmShape shape = GetParam();
+  Rng rng(99);
+  const Matrix a = Matrix::RandomNormal(shape.m, shape.k, &rng);
+  const Matrix b = Matrix::RandomNormal(shape.k, shape.n, &rng);
+  const Matrix at = Matrix::RandomNormal(shape.k, shape.m, &rng);
+  const Matrix bt = Matrix::RandomNormal(shape.n, shape.k, &rng);
+  const Matrix row = Matrix::RandomNormal(1, shape.k, &rng);
+
+  SetNumThreads(1);
+  const Matrix mm_serial = a.MatMul(b);
+  const Matrix mta_serial = at.MatMulTransposedA(b);
+  const Matrix mtb_serial = a.MatMulTransposedB(bt);
+  const Matrix rowsum_serial = a.RowSum();
+  const Matrix colsum_serial = a.ColSum();
+  const Matrix colstd_serial = a.ColStd();
+  const Matrix tr_serial = a.Transpose();
+  const Matrix add_serial = a.AddRowBroadcast(row);
+  const Matrix gelu_serial =
+      a.Apply([](float v) { return v * std::tanh(v); });
+  const double sum_serial = a.Sum();
+  const double norm_serial = a.SquaredNorm();
+
+  for (int threads : {2, 4}) {
+    SetNumThreads(threads);
+    EXPECT_EQ(a.MatMul(b), mm_serial) << "threads=" << threads;
+    EXPECT_EQ(at.MatMulTransposedA(b), mta_serial) << "threads=" << threads;
+    EXPECT_EQ(a.MatMulTransposedB(bt), mtb_serial) << "threads=" << threads;
+    EXPECT_EQ(a.RowSum(), rowsum_serial) << "threads=" << threads;
+    EXPECT_EQ(a.ColSum(), colsum_serial) << "threads=" << threads;
+    EXPECT_EQ(a.ColStd(), colstd_serial) << "threads=" << threads;
+    EXPECT_EQ(a.Transpose(), tr_serial) << "threads=" << threads;
+    EXPECT_EQ(a.AddRowBroadcast(row), add_serial) << "threads=" << threads;
+    EXPECT_EQ(a.Apply([](float v) { return v * std::tanh(v); }), gelu_serial)
+        << "threads=" << threads;
+    EXPECT_EQ(a.Sum(), sum_serial) << "threads=" << threads;
+    EXPECT_EQ(a.SquaredNorm(), norm_serial) << "threads=" << threads;
+
+    Matrix acc_serial = a;
+    Matrix acc_parallel = a;
+    SetNumThreads(1);
+    acc_serial.Axpy(0.25f, a);
+    acc_serial.ScaleInPlace(1.5f);
+    SetNumThreads(threads);
+    acc_parallel.Axpy(0.25f, a);
+    acc_parallel.ScaleInPlace(1.5f);
+    EXPECT_EQ(acc_parallel, acc_serial) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesStraddlingThreshold, MatrixParallelTest,
+    ::testing::Values(GemmShape{3, 4, 5},        // far below threshold
+                      GemmShape{40, 41, 10},     // just below 2^14 elements
+                      GemmShape{128, 128, 128},  // at/above threshold
+                      GemmShape{200, 300, 64},   // rectangular, parallel
+                      GemmShape{1, 512, 512},    // single row: serial GEMM
+                      GemmShape{513, 7, 3}));    // many rows, tiny inner
 
 }  // namespace
 }  // namespace silofuse
