@@ -10,10 +10,12 @@
 #include "metrics/report.h"
 #include "metrics/resemblance.h"
 #include "models/latent_diffusion.h"
+#include "obs/metrics.h"
 
 using namespace silofuse;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
   std::cout << "== Ablation: diffusion loss parameterization (scale="
             << profile.scale << ") ==\n\n";

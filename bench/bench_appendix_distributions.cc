@@ -10,11 +10,13 @@
 #include "common/string_util.h"
 #include "metrics/distribution_report.h"
 #include "metrics/report.h"
+#include "obs/metrics.h"
 #include "privacy/attacks.h"
 
 using namespace silofuse;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
   std::cout << "== Appendix: feature distributions & DCR leak screen "
                "(scale=" << profile.scale << ") ==\n";

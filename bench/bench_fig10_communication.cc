@@ -15,6 +15,7 @@
 #include "core/silofuse.h"
 #include "distributed/e2e_distributed.h"
 #include "metrics/report.h"
+#include "obs/metrics.h"
 
 using namespace silofuse;
 
@@ -32,7 +33,8 @@ std::string HumanBytes(double bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
   std::cout << "== Fig. 10: training communication, SiloFuse vs E2EDistr "
                "(scale=" << profile.scale << ") ==\n\n";
@@ -77,7 +79,14 @@ int main() {
       std::cerr << s.ToString() << "\n";
       return 1;
     }
-    const int64_t per_round = e2e.bytes_per_training_round();
+    // Per-round bytes come from the channel's own round log: take the first
+    // training round's measured subtotal (payload size is constant across
+    // rounds), falling back to the legacy first-iteration delta.
+    int64_t per_round = e2e.bytes_per_training_round();
+    const std::vector<ChannelRound> rounds = e2e.channel().RoundLog();
+    if (!rounds.empty() && rounds.front().bytes > 0) {
+      per_round = rounds.front().bytes;
+    }
 
     std::vector<std::string> silofuse_row = {dataset, "SiloFuse"};
     std::vector<std::string> e2e_row = {dataset, "E2EDistr"};

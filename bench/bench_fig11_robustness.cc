@@ -11,10 +11,12 @@
 #include "metrics/report.h"
 #include "metrics/resemblance.h"
 #include "metrics/utility.h"
+#include "obs/metrics.h"
 
 using namespace silofuse;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
   std::cout << "== Fig. 11: SiloFuse robustness to clients/permutation "
                "(scale=" << profile.scale << ") ==\n\n";

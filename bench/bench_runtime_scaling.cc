@@ -21,6 +21,7 @@
 #include "bench_common.h"
 #include "common/rng.h"
 #include "diffusion/gaussian_ddpm.h"
+#include "obs/metrics.h"
 #include "runtime/parallel_for.h"
 #include "tensor/matrix.h"
 
@@ -52,14 +53,37 @@ bool BytesEqual(const Matrix& a, const Matrix& b) {
          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
 }
 
+/// Pool-level observability totals pulled from the metrics registry after
+/// the sweep: how many tasks the pool ran and their mean latency.
+struct PoolStats {
+  int64_t tasks = 0;
+  double mean_task_us = 0.0;
+};
+
+PoolStats ReadPoolStats() {
+  PoolStats stats;
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  if (auto it = snap.counters.find("runtime.pool.tasks");
+      it != snap.counters.end()) {
+    stats.tasks = it->second;
+  }
+  if (auto it = snap.histograms.find("runtime.pool.task_us");
+      it != snap.histograms.end() && it->second.count > 0) {
+    stats.mean_task_us = it->second.sum / static_cast<double>(it->second.count);
+  }
+  return stats;
+}
+
 std::string Json(const std::vector<int>& threads,
                  const std::vector<double>& gemm_ms,
                  const std::vector<double>& sample_ms, int gemm_dim,
-                 int sample_rows, bool identical) {
+                 int sample_rows, bool identical, const PoolStats& pool) {
   std::ostringstream out;
   out << "{\n  \"bench\": \"runtime_scaling\",\n";
   out << "  \"gemm_dim\": " << gemm_dim << ",\n";
   out << "  \"sample_rows\": " << sample_rows << ",\n";
+  out << "  \"pool_tasks\": " << pool.tasks << ",\n";
+  out << "  \"pool_task_mean_us\": " << pool.mean_task_us << ",\n";
   out << "  \"results_identical_across_threads\": "
       << (identical ? "true" : "false") << ",\n";
   out << "  \"threads\": [";
@@ -88,7 +112,8 @@ std::string Json(const std::vector<int>& threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   const double scale = bench::Scale();
   const int gemm_dim = std::max(64, static_cast<int>(512 * std::min(1.0, scale)));
   const int sample_rows = std::max(32, static_cast<int>(256 * std::min(1.0, scale)));
@@ -146,8 +171,12 @@ int main() {
   }
   SetNumThreads(1);
 
+  const PoolStats pool = ReadPoolStats();
+  std::cout << "  pool: " << pool.tasks << " tasks, mean "
+            << pool.mean_task_us << " us/task\n";
+
   const std::string json = Json(thread_counts, gemm_ms, sample_ms, gemm_dim,
-                                sample_rows, identical);
+                                sample_rows, identical, pool);
   std::ofstream("BENCH_runtime.json") << json;
   std::cout << "\n" << json << "(written to BENCH_runtime.json)\n";
   return identical ? 0 : 1;

@@ -9,10 +9,12 @@
 #include "bench_common.h"
 #include "common/string_util.h"
 #include "metrics/report.h"
+#include "obs/metrics.h"
 
 using namespace silofuse;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
   std::cout << "== Table II: dataset statistics (paper vs simulated) ==\n";
   std::cout << "bench rows are capped at " << profile.rows

@@ -10,10 +10,12 @@
 #include "common/string_util.h"
 #include "metrics/report.h"
 #include "metrics/utility.h"
+#include "obs/metrics.h"
 
 using namespace silofuse;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
   const int trials = bench::Trials();
   std::cout << "== Table IV: utility scores (scale=" << profile.scale

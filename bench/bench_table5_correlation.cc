@@ -12,6 +12,7 @@
 #include "common/string_util.h"
 #include "metrics/association.h"
 #include "metrics/report.h"
+#include "obs/metrics.h"
 
 using namespace silofuse;
 
@@ -43,7 +44,8 @@ void PrintHeat(const Matrix& real_assoc, const Matrix& synth_assoc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
   std::cout << "== Table V: correlation differences (scale=" << profile.scale
             << ") ==\n(legend: . <0.05  : <0.10  o <0.20  O <0.35  # >=0.35)\n\n";

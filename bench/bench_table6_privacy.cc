@@ -9,11 +9,13 @@
 #include "bench_common.h"
 #include "common/string_util.h"
 #include "metrics/report.h"
+#include "obs/metrics.h"
 #include "privacy/attacks.h"
 
 using namespace silofuse;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
   const int trials = bench::Trials();
   std::cout << "== Table VI: privacy scores (scale=" << profile.scale

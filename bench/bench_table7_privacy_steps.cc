@@ -9,11 +9,13 @@
 #include "common/string_util.h"
 #include "metrics/report.h"
 #include "models/latent_diffusion.h"
+#include "obs/metrics.h"
 #include "privacy/attacks.h"
 
 using namespace silofuse;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
   std::cout << "== Table VII: privacy vs denoising steps (scale="
             << profile.scale << ") ==\n\n";

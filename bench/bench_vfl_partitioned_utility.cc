@@ -15,6 +15,7 @@
 #include "metrics/report.h"
 #include "metrics/utility.h"
 #include "ml/eval.h"
+#include "obs/metrics.h"
 
 using namespace silofuse;
 
@@ -47,7 +48,8 @@ Result<VflRun> RunVfl(const std::vector<Table>& train_parts,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
   std::cout << "== Extension: utility of vertically partitioned synthesis "
                "(VFL) vs shared synthesis (scale=" << profile.scale

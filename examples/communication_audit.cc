@@ -9,10 +9,12 @@
 #include "data/generators/paper_datasets.h"
 #include "distributed/e2e_distributed.h"
 #include "metrics/report.h"
+#include "obs/metrics.h"
 
 using namespace silofuse;
 
 int main(int argc, char** argv) {
+  argc = obs::InitTelemetryFromArgs(argc, argv);
   const std::string dataset = argc > 1 ? argv[1] : "abalone";
   std::cout << "== Communication audit on '" << dataset << "' ==\n";
   Table data = GeneratePaperDataset(dataset, 800, 1).Value();

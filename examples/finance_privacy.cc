@@ -11,6 +11,7 @@
 #include "core/silofuse.h"
 #include "data/generators/copula_generator.h"
 #include "metrics/report.h"
+#include "obs/metrics.h"
 #include "privacy/attacks.h"
 
 using namespace silofuse;
@@ -46,7 +47,8 @@ void PrintAttackRow(TextTable* table, const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   std::cout << "== Cross-silo finance privacy audit (Example II.2) ==\n";
   Table customers = MakeCustomerData(900);
   const std::vector<std::vector<int>> partition = {{0, 1, 2}, {3, 4, 5, 6}};

@@ -11,6 +11,7 @@
 #include "data/generators/copula_generator.h"
 #include "metrics/association.h"
 #include "metrics/resemblance.h"
+#include "obs/metrics.h"
 
 using namespace silofuse;
 
@@ -42,7 +43,8 @@ Table MakePatientCohort(int patients) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::InitTelemetryFromArgs(argc, argv);
   std::cout << "== Cross-silo healthcare synthesis (Fig. 1 scenario) ==\n";
   Table cohort = MakePatientCohort(1000);
 

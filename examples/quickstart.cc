@@ -15,11 +15,13 @@
 #include "data/split.h"
 #include "metrics/resemblance.h"
 #include "metrics/utility.h"
+#include "obs/metrics.h"
 #include "privacy/attacks.h"
 
 using namespace silofuse;
 
 int main(int argc, char** argv) {
+  argc = obs::InitTelemetryFromArgs(argc, argv);
   const std::string dataset = argc > 1 ? argv[1] : "loan";
   const int rows = argc > 2 ? std::atoi(argv[2]) : 1200;
   Rng rng(7);

@@ -26,6 +26,7 @@
 #include "data/split.h"
 #include "metrics/resemblance.h"
 #include "metrics/utility.h"
+#include "obs/metrics.h"
 #include "privacy/attacks.h"
 
 using namespace silofuse;
@@ -217,6 +218,7 @@ int CmdDatasets() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  argc = obs::InitTelemetryFromArgs(argc, argv);
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   Flags flags(argc, argv, 2);

@@ -1,7 +1,7 @@
 #ifndef SILOFUSE_COMMON_LOGGING_H_
 #define SILOFUSE_COMMON_LOGGING_H_
 
-#include <iostream>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -17,9 +17,51 @@ LogLevel GetLogLevel();
 /// variable SILOFUSE_QUIET is set).
 void SetLogLevel(LogLevel level);
 
+/// One fully formatted log statement, handed to the active sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";  // basename of the emitting file
+  int line = 0;
+  std::string message;    // the streamed text, no prefix, no newline
+};
+
+/// Where completed log lines go. Write() calls are serialized by the
+/// logging mutex, so implementations need no locking of their own and a
+/// multi-threaded run can never shear a line mid-way.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(const LogRecord& record) = 0;
+};
+
+/// Replaces the process-wide sink and returns the previous one; nullptr
+/// restores the default stderr sink. The caller keeps ownership. Default is
+/// stderr, or a JSON-lines file when SILOFUSE_LOG_JSON=<path> is set, so
+/// logs and metrics share one structured output story.
+LogSink* SetLogSink(LogSink* sink);
+
+/// Structured file sink: one JSON object per line,
+/// {"level": "I", "file": "vfl.cc", "line": 12, "msg": "..."}.
+class JsonLinesLogSink : public LogSink {
+ public:
+  explicit JsonLinesLogSink(const std::string& path);
+
+  /// False when the file could not be opened (Write then drops records).
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void Write(const LogRecord& record) override;
+
+ private:
+  std::ofstream out_;
+};
+
 namespace internal_logging {
 
-/// Buffers one log line and flushes it (with level tag) on destruction.
+/// Serializes and emits one record through the active sink under the
+/// process-wide logging mutex (one locked write per complete line).
+void Emit(LogRecord record);
+
+/// Buffers one log line and flushes it through the sink on destruction.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -33,6 +75,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

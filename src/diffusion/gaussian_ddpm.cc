@@ -1,9 +1,12 @@
 #include "diffusion/gaussian_ddpm.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "diffusion/time_embedding.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/parallel_for.h"
 #include "tensor/matrix_io.h"
 #include "nn/activations.h"
@@ -30,6 +33,42 @@ void ForBatchRows(int rows, int cols, Fn&& fn) {
   } else if (rows > 0) {
     fn(0, rows);
   }
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Telemetry handles, registered once. Timing happens at train-step and
+// denoise-step granularity only — never inside the per-row loops.
+struct DdpmMetrics {
+  obs::Gauge* train_loss;
+  obs::Gauge* train_grad_norm;
+  obs::Counter* train_steps;
+  obs::Counter* sample_rows;
+  obs::Counter* sample_steps;
+  obs::Gauge* sample_rows_per_sec;
+  obs::Histogram* sample_step_ms;
+};
+
+const DdpmMetrics& Metrics() {
+  static const DdpmMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    DdpmMetrics m;
+    m.train_loss = registry.GetGauge("ddpm.train.loss");
+    m.train_grad_norm = registry.GetGauge("ddpm.train.grad_norm");
+    m.train_steps = registry.GetCounter("ddpm.train.steps");
+    m.sample_rows = registry.GetCounter("ddpm.sample.rows");
+    m.sample_steps = registry.GetCounter("ddpm.sample.steps");
+    m.sample_rows_per_sec = registry.GetGauge("ddpm.sample.rows_per_sec");
+    m.sample_step_ms = registry.GetHistogram(
+        "ddpm.sample.step_ms",
+        {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000});
+    return m;
+  }();
+  return metrics;
 }
 
 }  // namespace
@@ -173,6 +212,7 @@ Result<std::unique_ptr<GaussianDdpm>> GaussianDdpm::LoadFrom(
 }
 
 double GaussianDdpm::TrainStep(const Matrix& z0, Rng* rng) {
+  SF_TRACE_SPAN("ddpm.train_step");
   const int batch = z0.rows();
   SF_CHECK_GT(batch, 0);
   std::vector<int> t(batch);
@@ -188,17 +228,26 @@ double GaussianDdpm::TrainStep(const Matrix& z0, Rng* rng) {
   const double loss = MseLoss(prediction, target, &grad);
   optimizer_->ZeroGrad();
   BackwardBackbone(grad);
-  optimizer_->ClipGradNorm(config_.grad_clip);
+  const double grad_norm = optimizer_->ClipGradNorm(config_.grad_clip);
   optimizer_->Step();
+  const DdpmMetrics& metrics = Metrics();
+  metrics.train_loss->Set(loss);
+  metrics.train_grad_norm->Set(grad_norm);
+  metrics.train_steps->Increment();
   return loss;
 }
 
 Matrix GaussianDdpm::Sample(int n, int steps, Rng* rng, double eta) {
+  SF_TRACE_SPAN("ddpm.sample");
   SF_CHECK_GT(n, 0);
+  const DdpmMetrics& metrics = Metrics();
+  const double sample_start_ms = NowMs();
   Matrix x = Matrix::RandomNormal(n, config_.data_dim, rng);
   const std::vector<int> taus = schedule_.InferenceTimesteps(steps);
   std::vector<int> t_batch(n);
   for (size_t i = 0; i < taus.size(); ++i) {
+    SF_TRACE_SPAN("ddpm.sample.step");
+    const double step_start_ms = NowMs();
     const int t = taus[i];
     const int t_prev = (i + 1 < taus.size()) ? taus[i + 1] : 0;
     std::fill(t_batch.begin(), t_batch.end(), t);
@@ -209,6 +258,8 @@ Matrix GaussianDdpm::Sample(int n, int steps, Rng* rng, double eta) {
     });
     if (t_prev == 0) {
       x = std::move(x0);
+      metrics.sample_step_ms->Observe(NowMs() - step_start_ms);
+      metrics.sample_steps->Increment();
       break;
     }
     const double abar_t = schedule_.alpha_bar(t);
@@ -246,6 +297,13 @@ Matrix GaussianDdpm::Sample(int n, int steps, Rng* rng, double eta) {
       }
     });
     x = std::move(next);
+    metrics.sample_step_ms->Observe(NowMs() - step_start_ms);
+    metrics.sample_steps->Increment();
+  }
+  metrics.sample_rows->Add(n);
+  const double elapsed_ms = NowMs() - sample_start_ms;
+  if (elapsed_ms > 0.0) {
+    metrics.sample_rows_per_sec->Set(1000.0 * n / elapsed_ms);
   }
   return x;
 }

@@ -1,12 +1,21 @@
 #include "distributed/channel.h"
 
+#include <chrono>
 #include <sstream>
+
+#include "obs/metrics.h"
 
 namespace silofuse {
 
 namespace {
 // Shape, sender/receiver ids, tag id, sequence number.
 constexpr int64_t kHeaderBytes = 32;
+
+int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 }  // namespace
 
 int64_t MatrixWireBytes(const Matrix& m) {
@@ -21,26 +30,104 @@ int64_t Channel::SendMatrix(const std::string& from, const std::string& to,
   return bytes;
 }
 
+obs::Counter* Channel::TagCounterLocked(const std::string& tag) {
+  auto it = tag_counters_.find(tag);
+  if (it != tag_counters_.end()) return it->second;
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("channel.bytes." + tag);
+  tag_counters_[tag] = counter;
+  return counter;
+}
+
 void Channel::Send(const std::string& from, const std::string& to,
                    int64_t bytes, const std::string& tag) {
-  log_.push_back({from, to, tag, bytes});
-  bytes_by_tag_[tag] += bytes;
-  total_bytes_ += bytes;
+  static obs::Counter* total_counter =
+      obs::MetricsRegistry::Global().GetCounter("channel.bytes");
+  static obs::Counter* message_counter =
+      obs::MetricsRegistry::Global().GetCounter("channel.messages");
+  obs::Counter* tag_counter;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log_.push_back({from, to, tag, bytes});
+    bytes_by_tag_[tag] += bytes;
+    total_bytes_ += bytes;
+    if (!round_log_.empty()) {
+      round_log_.back().bytes += bytes;
+      round_log_.back().messages += 1;
+    }
+    tag_counter = TagCounterLocked(tag);
+  }
+  total_counter->Add(bytes);
+  message_counter->Increment();
+  tag_counter->Add(bytes);
+}
+
+void Channel::BeginRound() {
+  static obs::Counter* round_counter =
+      obs::MetricsRegistry::Global().GetCounter("channel.rounds");
+  const int64_t now_ns = MonotonicNs();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!round_log_.empty()) {
+      round_log_.back().wall_ms =
+          static_cast<double>(now_ns - round_start_ns_) / 1e6;
+    }
+    round_start_ns_ = now_ns;
+    round_log_.emplace_back();
+    ++rounds_;
+  }
+  round_counter->Increment();
+}
+
+int64_t Channel::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_bytes_;
+}
+
+int64_t Channel::message_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(log_.size());
+}
+
+int64_t Channel::rounds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rounds_;
 }
 
 int64_t Channel::bytes_with_tag(const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = bytes_by_tag_.find(tag);
   return it == bytes_by_tag_.end() ? 0 : it->second;
 }
 
+std::vector<ChannelMessage> Channel::MessageLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
+std::vector<ChannelRound> Channel::RoundLog() const {
+  const int64_t now_ns = MonotonicNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ChannelRound> out = round_log_;
+  // The last round is still open; report its wall time so far.
+  if (!out.empty() && out.back().wall_ms == 0.0) {
+    out.back().wall_ms = static_cast<double>(now_ns - round_start_ns_) / 1e6;
+  }
+  return out;
+}
+
 void Channel::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   log_.clear();
   bytes_by_tag_.clear();
+  round_log_.clear();
+  round_start_ns_ = 0;
   total_bytes_ = 0;
   rounds_ = 0;
 }
 
 std::string Channel::Summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   out << "Channel: " << total_bytes_ << " bytes in " << log_.size()
       << " messages over " << rounds_ << " rounds\n";

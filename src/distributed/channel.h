@@ -3,12 +3,17 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "tensor/matrix.h"
 
 namespace silofuse {
+
+namespace obs {
+class Counter;
+}  // namespace obs
 
 /// One recorded transfer between parties.
 struct ChannelMessage {
@@ -18,6 +23,16 @@ struct ChannelMessage {
   int64_t bytes = 0;
 };
 
+/// Byte/message subtotal of one communication round, so the Fig. 10
+/// pipeline can plot bytes-per-round instead of only cumulative totals.
+struct ChannelRound {
+  int64_t bytes = 0;
+  int64_t messages = 0;
+  /// Wall time from this round's BeginRound to the next one (or to the
+  /// stats read for the still-open last round).
+  double wall_ms = 0.0;
+};
+
 /// Serialized size of a float32 matrix payload plus a small fixed header
 /// (shape + ids), matching what a real wire format would ship.
 int64_t MatrixWireBytes(const Matrix& m);
@@ -25,6 +40,12 @@ int64_t MatrixWireBytes(const Matrix& m);
 /// In-process stand-in for the cross-silo network. Every transfer between a
 /// client and the coordinator is recorded so the communication experiments
 /// (Fig. 10) can compare stacked vs end-to-end training byte-for-byte.
+///
+/// Recording is thread-safe: concurrent clients may Send while another
+/// thread reads totals or snapshots rounds. Transfers also feed the global
+/// obs::MetricsRegistry ("channel.bytes", "channel.bytes.<tag>",
+/// "channel.messages", "channel.rounds") so exported metrics snapshots
+/// carry per-tag communication without touching the Channel object.
 class Channel {
  public:
   Channel() = default;
@@ -38,23 +59,39 @@ class Channel {
             const std::string& tag);
 
   /// Marks the start of a communication round (a synchronized exchange
-  /// between all clients and the coordinator).
-  void BeginRound() { ++rounds_; }
+  /// between all clients and the coordinator). Closes the wall-time of the
+  /// previous round.
+  void BeginRound();
 
-  int64_t total_bytes() const { return total_bytes_; }
-  int64_t message_count() const { return static_cast<int64_t>(log_.size()); }
-  int64_t rounds() const { return rounds_; }
+  int64_t total_bytes() const;
+  int64_t message_count() const;
+  int64_t rounds() const;
   int64_t bytes_with_tag(const std::string& tag) const;
-  const std::vector<ChannelMessage>& log() const { return log_; }
+
+  /// Copy of the full message log (snapshot under the channel lock).
+  std::vector<ChannelMessage> MessageLog() const;
+
+  /// Per-round subtotals, index 0 = first BeginRound. Messages sent before
+  /// the first BeginRound appear only in the cumulative totals.
+  std::vector<ChannelRound> RoundLog() const;
 
   void Reset();
 
-  /// Multi-line human-readable summary (per-tag byte totals).
+  /// Multi-line human-readable summary (per-tag byte totals). The format of
+  /// the existing lines is stable; downstream parsers keep working.
   std::string Summary() const;
 
  private:
+  /// Registry counter for `tag`, cached so steady-state Send() does not
+  /// re-lock the registry. Requires mu_.
+  obs::Counter* TagCounterLocked(const std::string& tag);
+
+  mutable std::mutex mu_;
   std::vector<ChannelMessage> log_;
   std::map<std::string, int64_t> bytes_by_tag_;
+  std::map<std::string, obs::Counter*> tag_counters_;
+  std::vector<ChannelRound> round_log_;
+  int64_t round_start_ns_ = 0;
   int64_t total_bytes_ = 0;
   int64_t rounds_ = 0;
 };

@@ -1,11 +1,14 @@
 #include "distributed/coordinator.h"
 
 #include "data/split.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace silofuse {
 
 Status Coordinator::TrainOnLatents(const Matrix& latents, int steps,
                                    int batch_size, Rng* rng) {
+  SF_TRACE_SPAN("coordinator.train_on_latents");
   if (latents.rows() < 2) {
     return Status::InvalidArgument("coordinator needs at least 2 latent rows");
   }
@@ -14,16 +17,20 @@ Status Coordinator::TrainOnLatents(const Matrix& latents, int steps,
   GaussianDdpmConfig config = config_;
   config.data_dim = z0.cols();
   ddpm_ = std::make_unique<GaussianDdpm>(config, rng);
+  obs::TrainLoopTelemetry telemetry("coordinator.train",
+                                    std::min(batch_size, z0.rows()));
   for (int s = 0; s < steps; ++s) {
     const std::vector<int> idx =
         SampleBatchIndices(z0.rows(), std::min(batch_size, z0.rows()), rng);
-    ddpm_->TrainStep(z0.GatherRows(idx), rng);
+    const double loss = ddpm_->TrainStep(z0.GatherRows(idx), rng);
+    telemetry.Step({{"diffusion_loss", loss}});
   }
   return Status::OK();
 }
 
 Result<Matrix> Coordinator::SampleLatents(int num_rows, int inference_steps,
                                           double eta, Rng* rng) {
+  SF_TRACE_SPAN("coordinator.sample_latents");
   if (!trained()) {
     return Status::FailedPrecondition("coordinator has not been trained");
   }

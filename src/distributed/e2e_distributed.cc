@@ -5,6 +5,8 @@
 #include "common/logging.h"
 #include "data/split.h"
 #include "nn/losses.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace silofuse {
 
@@ -52,6 +54,9 @@ Status E2EDistrSynthesizer::Fit(const Table& data, Rng* rng) {
       std::make_unique<Adam>(std::move(params), config_.autoencoder.lr);
 
   const int steps = config_.autoencoder_steps + config_.diffusion_train_steps;
+  SF_TRACE_SPAN("e2e_distr.train");
+  obs::TrainLoopTelemetry telemetry(
+      "e2e_distr.train", std::min(config_.batch_size, data.num_rows()));
   double recon = 0.0, diff = 0.0;
   const int64_t bytes_before_first = channel_.total_bytes();
   for (int s = 0; s < steps; ++s) {
@@ -60,6 +65,7 @@ Status E2EDistrSynthesizer::Fit(const Table& data, Rng* rng) {
     auto [r, d] = TrainIteration(rows, rng);
     recon = 0.95 * recon + 0.05 * r;
     diff = 0.95 * diff + 0.05 * d;
+    telemetry.Step({{"recon_loss", recon}, {"diffusion_loss", diff}});
     if (s == 0) bytes_per_round_ = channel_.total_bytes() - bytes_before_first;
   }
   SF_LOG(Debug) << "E2EDistr losses: recon " << recon << " diffusion " << diff;
@@ -70,6 +76,7 @@ Status E2EDistrSynthesizer::Fit(const Table& data, Rng* rng) {
 std::pair<double, double> E2EDistrSynthesizer::TrainIteration(
     const std::vector<int>& batch_rows, Rng* rng) {
   SF_CHECK(backbone_ != nullptr);
+  SF_TRACE_SPAN("e2e_distr.round");
   const int batch = static_cast<int>(batch_rows.size());
   channel_.BeginRound();
 

@@ -8,6 +8,8 @@
 #include "nn/activations.h"
 #include "nn/linear.h"
 #include "nn/losses.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace silofuse {
 
@@ -99,9 +101,13 @@ Result<double> VflClassifier::Train(const std::vector<Table>& parts,
     one_hot.at(r, label) = 1.0f;
   }
 
+  SF_TRACE_SPAN("vfl.train");
+  obs::TrainLoopTelemetry telemetry("vfl.train",
+                                    std::min(config_.batch_size, rows));
   const int e_dim = config_.embedding_dim;
   double running = 0.0;
   for (int s = 0; s < config_.train_steps; ++s) {
+    SF_TRACE_SPAN("vfl.round");
     const std::vector<int> idx = SampleBatchIndices(
         rows, std::min(config_.batch_size, rows), rng);
     channel_.BeginRound();
@@ -119,6 +125,7 @@ Result<double> VflClassifier::Train(const std::vector<Table>& parts,
     const double loss =
         SoftmaxCrossEntropyLoss(logits, one_hot.GatherRows(idx), &grad);
     running = (s == 0) ? loss : 0.95 * running + 0.05 * loss;
+    telemetry.Step({{"loss", running}});
     optimizer_->ZeroGrad();
     Matrix grad_joint = server_head_.Backward(grad);
     // Server ships each client its embedding gradient slice.
@@ -135,6 +142,7 @@ Result<double> VflClassifier::Train(const std::vector<Table>& parts,
 }
 
 Result<Matrix> VflClassifier::PredictProba(const std::vector<Table>& parts) {
+  SF_TRACE_SPAN("vfl.predict");
   SF_ASSIGN_OR_RETURN(std::vector<Matrix> encoded, EncodeParts(parts));
   channel_.BeginRound();
   std::vector<Matrix> embeddings(encoders_.size());

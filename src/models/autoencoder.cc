@@ -7,6 +7,8 @@
 #include "nn/dropout.h"
 #include "nn/linear.h"
 #include "nn/losses.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/matrix_io.h"
 
 namespace silofuse {
@@ -188,6 +190,7 @@ double TabularAutoencoder::HeadLoss(const Matrix& head_outputs,
 }
 
 double TabularAutoencoder::TrainStep(const Matrix& x_encoded) {
+  SF_TRACE_SPAN("ae.train_step");
   Matrix latents = EncoderForward(x_encoded, /*training=*/true);
   Matrix heads = DecoderForward(latents, /*training=*/true);
   Matrix grad_heads;
@@ -195,20 +198,29 @@ double TabularAutoencoder::TrainStep(const Matrix& x_encoded) {
   optimizer_->ZeroGrad();
   Matrix grad_latent = DecoderBackward(grad_heads);
   EncoderBackward(grad_latent);
-  optimizer_->ClipGradNorm(config_.grad_clip);
+  const double grad_norm = optimizer_->ClipGradNorm(config_.grad_clip);
   optimizer_->Step();
+  static obs::Gauge* loss_gauge =
+      obs::MetricsRegistry::Global().GetGauge("ae.train.loss");
+  static obs::Gauge* grad_norm_gauge =
+      obs::MetricsRegistry::Global().GetGauge("ae.train.grad_norm");
+  loss_gauge->Set(loss);
+  grad_norm_gauge->Set(grad_norm);
   return loss;
 }
 
 double TabularAutoencoder::Train(const Table& data, int steps, int batch_size,
                                  Rng* rng) {
+  SF_TRACE_SPAN("ae.train");
   SF_CHECK_GT(steps, 0);
   const Matrix all = mixed_encoder_.Encode(data);
+  const int batch = std::min(batch_size, all.rows());
+  obs::TrainLoopTelemetry telemetry("ae.train", batch);
   double running = 0.0;
   for (int s = 0; s < steps; ++s) {
-    const std::vector<int> idx =
-        SampleBatchIndices(all.rows(), std::min(batch_size, all.rows()), rng);
+    const std::vector<int> idx = SampleBatchIndices(all.rows(), batch, rng);
     running = 0.95 * running + 0.05 * TrainStep(all.GatherRows(idx));
+    telemetry.Step({{"running_loss", running}});
   }
   return running;
 }

@@ -3,6 +3,8 @@
 #include "common/logging.h"
 #include "data/split.h"
 #include "nn/losses.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace silofuse {
 
@@ -28,6 +30,9 @@ Status E2ESynthesizer::Fit(const Table& data, Rng* rng) {
   // The joint model trains for the combined budget of the two stacked
   // phases, so E2E and LatentDiff see the same number of updates.
   const int steps = config_.autoencoder_steps + config_.diffusion_train_steps;
+  SF_TRACE_SPAN("e2e.train");
+  obs::TrainLoopTelemetry telemetry("e2e.train",
+                                    std::min(config_.batch_size, all.rows()));
   double recon = 0.0, diff = 0.0;
   for (int s = 0; s < steps; ++s) {
     const std::vector<int> idx = SampleBatchIndices(
@@ -35,6 +40,7 @@ Status E2ESynthesizer::Fit(const Table& data, Rng* rng) {
     auto [r, d] = TrainStep(all.GatherRows(idx), rng);
     recon = 0.95 * recon + 0.05 * r;
     diff = 0.95 * diff + 0.05 * d;
+    telemetry.Step({{"recon_loss", recon}, {"diffusion_loss", diff}});
   }
   SF_LOG(Debug) << "E2E losses: recon " << recon << " diffusion " << diff;
   fitted_ = true;

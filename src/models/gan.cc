@@ -9,6 +9,8 @@
 #include "nn/layer_norm.h"
 #include "nn/linear.h"
 #include "nn/losses.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace silofuse {
 
@@ -125,6 +127,9 @@ Status GanSynthesizer::Fit(const Table& data, Rng* rng) {
   SF_RETURN_NOT_OK(encoder_.Fit(data));
   BuildNetworks(encoder_.encoded_width(), rng);
   const Matrix all = encoder_.Encode(data);
+  SF_TRACE_SPAN("gan.train");
+  obs::TrainLoopTelemetry telemetry("gan.train",
+                                    std::min(config_.batch_size, all.rows()));
   double d_loss = 0.0, g_loss = 0.0;
   for (int s = 0; s < config_.train_steps; ++s) {
     const std::vector<int> idx = SampleBatchIndices(
@@ -132,6 +137,7 @@ Status GanSynthesizer::Fit(const Table& data, Rng* rng) {
     auto [d, g] = TrainStep(all.GatherRows(idx), rng);
     d_loss = 0.95 * d_loss + 0.05 * d;
     g_loss = 0.95 * g_loss + 0.05 * g;
+    telemetry.Step({{"d_loss", d_loss}, {"g_loss", g_loss}});
   }
   SF_LOG(Debug) << name() << " losses: D " << d_loss << " G " << g_loss;
   fitted_ = true;

@@ -2,10 +2,13 @@
 
 #include "common/logging.h"
 #include "data/split.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace silofuse {
 
 Status LatentDiffSynthesizer::Fit(const Table& data, Rng* rng) {
+  SF_TRACE_SPAN("latentdiff.fit");
   if (data.num_rows() < 2) {
     return Status::InvalidArgument("LatentDiff needs at least 2 rows");
   }
@@ -17,6 +20,7 @@ Status LatentDiffSynthesizer::Fit(const Table& data, Rng* rng) {
   SF_LOG(Debug) << name() << ": autoencoder loss " << ae_loss;
 
   // Step 2: encode once, standardize, train the DDPM on latents (Eq. 5).
+  SF_TRACE_SPAN("latentdiff.fit.diffusion");
   Matrix latents = autoencoder_->EncodeTable(data);
   standardizer_.Fit(latents);
   Matrix z0 = standardizer_.Transform(latents);
@@ -24,11 +28,14 @@ Status LatentDiffSynthesizer::Fit(const Table& data, Rng* rng) {
   GaussianDdpmConfig ddpm_config = config_.diffusion;
   ddpm_config.data_dim = z0.cols();
   diffusion_ = std::make_unique<GaussianDdpm>(ddpm_config, rng);
+  obs::TrainLoopTelemetry telemetry("latentdiff.train",
+                                    std::min(config_.batch_size, z0.rows()));
   double running = 0.0;
   for (int s = 0; s < config_.diffusion_train_steps; ++s) {
     const std::vector<int> idx = SampleBatchIndices(
         z0.rows(), std::min(config_.batch_size, z0.rows()), rng);
     running = 0.95 * running + 0.05 * diffusion_->TrainStep(z0.GatherRows(idx), rng);
+    telemetry.Step({{"diffusion_loss", running}});
   }
   SF_LOG(Debug) << name() << ": diffusion loss " << running;
   return Status::OK();

@@ -9,6 +9,8 @@
 #include "nn/activations.h"
 #include "nn/linear.h"
 #include "nn/losses.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace silofuse {
 
@@ -43,6 +45,9 @@ Status TabDdpmSynthesizer::Fit(const Table& data, Rng* rng) {
   optimizer_ = std::make_unique<Adam>(backbone_.Parameters(), config_.lr);
 
   const Matrix all = encoder_.Encode(data);
+  SF_TRACE_SPAN("tabddpm.train");
+  obs::TrainLoopTelemetry telemetry("tabddpm.train",
+                                    std::min(config_.batch_size, all.rows()));
   double g_loss = 0.0, m_loss = 0.0;
   for (int s = 0; s < config_.train_steps; ++s) {
     const std::vector<int> idx = SampleBatchIndices(
@@ -50,6 +55,7 @@ Status TabDdpmSynthesizer::Fit(const Table& data, Rng* rng) {
     auto [g, m] = TrainStep(all.GatherRows(idx), rng);
     g_loss = 0.95 * g_loss + 0.05 * g;
     m_loss = 0.95 * m_loss + 0.05 * m;
+    telemetry.Step({{"gaussian_loss", g_loss}, {"multinomial_loss", m_loss}});
   }
   SF_LOG(Debug) << "TabDDPM losses: gaussian " << g_loss << " multinomial "
                 << m_loss;

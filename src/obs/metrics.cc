@@ -1,0 +1,390 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace silofuse {
+namespace obs {
+namespace internal_metrics {
+
+int ThreadShard() {
+  // Round-robin thread -> shard assignment: stable for the thread's
+  // lifetime, spreads the runtime pool's workers over distinct lines.
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+}  // namespace internal_metrics
+
+namespace {
+
+// Minimal JSON string escaping; metric names are plain identifiers but the
+// export must never emit malformed JSON whatever the caller registered.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  // JSON has no inf/nan literals; clamp to null-safe strings.
+  if (!std::isfinite(v)) return v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+std::mutex g_export_mu;
+std::string g_metrics_export_path;  // guarded by g_export_mu
+bool g_atexit_registered = false;   // guarded by g_export_mu
+
+void RegisterFlushAtExitLocked() {
+  if (g_atexit_registered) return;
+  g_atexit_registered = true;
+  std::atexit(FlushTelemetry);
+}
+
+void ApplyEnv() {
+  if (const char* path = std::getenv("SILOFUSE_METRICS");
+      path != nullptr && *path != '\0') {
+    SetMetricsExportPath(path);
+  }
+  if (const char* path = std::getenv("SILOFUSE_TRACE");
+      path != nullptr && *path != '\0') {
+    EnableTracing(path);
+  }
+}
+
+// One-time lazy env read, piggybacked on first registry access so simply
+// linking the library costs nothing.
+void EnsureEnvApplied() {
+  static const bool applied = [] {
+    ApplyEnv();
+    return true;
+  }();
+  (void)applied;
+}
+
+}  // namespace
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Shard::Shard(size_t num_buckets)
+    : buckets(new std::atomic<int64_t>[num_buckets]) {
+  for (size_t i = 0; i < num_buckets; ++i) {
+    buckets[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SF_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+  shards_.reserve(kMetricShards);
+  for (int i = 0; i < kMetricShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits `value`; linear scan — bucket
+  // lists are short (typically < 20) and cache-resident.
+  size_t bucket = bounds_.size();  // overflow by default
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  Shard& shard = *shards_[internal_metrics::ThreadShard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      counts[i] += shard->buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::TotalSum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += shard->sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Mean() const {
+  const int64_t count = TotalCount();
+  return count == 0 ? 0.0 : TotalSum() / static_cast<double>(count);
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (size_t i = 0; i < bounds_.size() + 1; ++i) {
+      shard->buckets[i].store(0, std::memory_order_relaxed);
+    }
+    shard->count.store(0, std::memory_order_relaxed);
+    shard->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaky singleton: handles handed to callers (including pool workers that
+  // may outlive main) must stay valid through the atexit flush.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  EnsureEnvApplied();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::unique_ptr<Counter>(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::unique_ptr<Gauge>(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.bounds = histogram->bounds();
+    h.bucket_counts = histogram->BucketCounts();
+    h.count = histogram->TotalCount();
+    h.sum = histogram->TotalSum();
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+        << "\": " << JsonDouble(value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {";
+    out << "\"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      out << (i ? ", " : "") << JsonDouble(h.bounds[i]);
+    }
+    out << "], \"counts\": [";
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      out << (i ? ", " : "") << h.bucket_counts[i];
+    }
+    out << "], \"count\": " << h.count << ", \"sum\": " << JsonDouble(h.sum)
+        << ", \"mean\": "
+        << JsonDouble(h.count == 0
+                          ? 0.0
+                          : h.sum / static_cast<double>(h.count))
+        << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+TrainLoopTelemetry::TrainLoopTelemetry(const std::string& prefix,
+                                       int batch_size)
+    : prefix_(prefix),
+      batch_size_(batch_size),
+      start_(std::chrono::steady_clock::now()),
+      step_counter_(MetricsRegistry::Global().GetCounter(prefix + ".steps")) {}
+
+void TrainLoopTelemetry::Step(
+    std::initializer_list<std::pair<const char*, double>> values) {
+  for (const auto& [key, value] : values) {
+    auto it = gauges_.find(key);
+    if (it == gauges_.end()) {
+      it = gauges_
+               .emplace(key, MetricsRegistry::Global().GetGauge(
+                                 prefix_ + "." + key))
+               .first;
+    }
+    it->second->Set(value);
+  }
+  step_counter_->Increment();
+  ++steps_;
+}
+
+TrainLoopTelemetry::~TrainLoopTelemetry() {
+  const double elapsed_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  if (steps_ > 0 && elapsed_sec > 0.0) {
+    MetricsRegistry::Global()
+        .GetGauge(prefix_ + ".examples_per_sec")
+        ->Set(static_cast<double>(steps_) * batch_size_ / elapsed_sec);
+  }
+}
+
+Status WriteMetricsJson(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open metrics export file: " + path);
+  }
+  out << MetricsRegistry::Global().Snapshot().ToJson();
+  out.flush();
+  if (!out) return Status::IOError("failed writing metrics export: " + path);
+  return Status::OK();
+}
+
+void SetMetricsExportPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_export_mu);
+  g_metrics_export_path = path;
+  if (!path.empty()) RegisterFlushAtExitLocked();
+}
+
+std::string MetricsExportPath() {
+  std::lock_guard<std::mutex> lock(g_export_mu);
+  return g_metrics_export_path;
+}
+
+int InitTelemetryFromArgs(int argc, char** argv) {
+  auto value_of = [&](int* i, const char* flag) -> const char* {
+    const std::string arg = argv[*i];
+    const std::string prefix = std::string(flag) + "=";
+    if (arg.rfind(prefix, 0) == 0) return argv[*i] + prefix.size();
+    if (arg == flag && *i + 1 < argc) return argv[++*i];
+    return nullptr;
+  };
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* path = value_of(&i, "--metrics-out")) {
+      SetMetricsExportPath(path);
+    } else if (const char* path = value_of(&i, "--trace-out")) {
+      EnableTracing(path);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  for (int i = out; i < argc; ++i) argv[i] = nullptr;
+  return out;
+}
+
+void ReinitTelemetryFromEnv() { ApplyEnv(); }
+
+void FlushTelemetry() {
+  const std::string metrics_path = MetricsExportPath();
+  if (!metrics_path.empty()) {
+    if (Status s = WriteMetricsJson(metrics_path); !s.ok()) {
+      SF_LOG(Warning) << "metrics export failed: " << s.ToString();
+    }
+  }
+  const std::string trace_path = TraceExportPath();
+  if (!trace_path.empty()) {
+    if (Status s = WriteTraceJson(trace_path); !s.ok()) {
+      SF_LOG(Warning) << "trace export failed: " << s.ToString();
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace silofuse

@@ -1,0 +1,189 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace silofuse {
+namespace obs {
+namespace internal_trace {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+// Per-thread cap: a runaway tracing session degrades to dropping spans
+// instead of exhausting memory. 1M spans ~ 40 MB/thread worst case.
+constexpr size_t kMaxEventsPerThread = size_t{1} << 20;
+
+struct RawEvent {
+  const char* name;  // string literal, never freed
+  int64_t start_ns;
+  int64_t end_ns;
+};
+
+// Spans land in a per-thread buffer so recording never contends across
+// threads; the buffer's own mutex only conflicts with a snapshot/flush.
+// Buffers are shared_ptr so a reader holds them alive across thread exit.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<RawEvent> events;
+  size_t dropped = 0;
+  int tid = 0;
+};
+
+std::mutex g_buffers_mu;
+
+std::vector<std::shared_ptr<ThreadBuffer>>* Buffers() {
+  // Leaky: the atexit flush may run after static destruction began.
+  static auto* buffers = new std::vector<std::shared_ptr<ThreadBuffer>>();
+  return buffers;
+}
+
+ThreadBuffer* LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    auto* all = Buffers();
+    b->tid = static_cast<int>(all->size()) + 1;
+    all->push_back(b);
+    return b;
+  }();
+  return buffer.get();
+}
+
+std::mutex g_trace_path_mu;
+std::string g_trace_export_path;  // guarded by g_trace_path_mu
+
+// Reads SILOFUSE_TRACE as soon as the trace TU is linked in, so spans hit
+// from the very first instrumented call. EnableTracing only touches this
+// file's globals, so cross-TU static init order is not a concern.
+const bool g_env_init = [] {
+  if (const char* path = std::getenv("SILOFUSE_TRACE");
+      path != nullptr && *path != '\0') {
+    EnableTracing(path);
+  }
+  return true;
+}();
+
+}  // namespace
+
+int64_t NowNs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns) {
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    ++buffer->dropped;
+    return;
+  }
+  buffer->events.push_back({name, start_ns, end_ns});
+}
+
+}  // namespace internal_trace
+
+void EnableTracing(const std::string& export_path) {
+  {
+    std::lock_guard<std::mutex> lock(internal_trace::g_trace_path_mu);
+    internal_trace::g_trace_export_path = export_path;
+  }
+  internal_trace::g_enabled.store(true, std::memory_order_relaxed);
+  // Route the exit-time write through the shared telemetry flusher.
+  if (!export_path.empty()) {
+    static std::once_flag once;
+    std::call_once(once, [] { std::atexit(FlushTelemetry); });
+  }
+}
+
+void DisableTracing() {
+  internal_trace::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::string TraceExportPath() {
+  std::lock_guard<std::mutex> lock(internal_trace::g_trace_path_mu);
+  return internal_trace::g_trace_export_path;
+}
+
+std::vector<TraceEvent> SnapshotTraceEvents() {
+  std::vector<std::shared_ptr<internal_trace::ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(internal_trace::g_buffers_mu);
+    buffers = *internal_trace::Buffers();
+  }
+  std::vector<TraceEvent> events;
+  size_t dropped = 0;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    dropped += buffer->dropped;
+    for (const internal_trace::RawEvent& raw : buffer->events) {
+      TraceEvent event;
+      event.name = raw.name;
+      event.tid = buffer->tid;
+      event.start_ns = raw.start_ns;
+      event.dur_ns = raw.end_ns - raw.start_ns;
+      events.push_back(std::move(event));
+    }
+  }
+  if (dropped > 0) {
+    SF_LOG(Warning) << "trace buffers dropped " << dropped
+                    << " spans (per-thread cap reached)";
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.dur_ns > b.dur_ns;
+            });
+  return events;
+}
+
+void ClearTraceEvents() {
+  std::vector<std::shared_ptr<internal_trace::ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(internal_trace::g_buffers_mu);
+    buffers = *internal_trace::Buffers();
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+Status WriteTraceJson(const std::string& path) {
+  const std::vector<TraceEvent> events = SnapshotTraceEvents();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open trace export file: " + path);
+  // Chrome trace-event format: complete ("X") events with microsecond
+  // timestamps; the viewer nests same-tid events by time range. Fixed
+  // 3-decimal microseconds keep nanosecond resolution at any uptime.
+  out << std::fixed << std::setprecision(3);
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << (i ? ",\n" : "\n");
+    out << "  {\"name\": \"" << e.name << "\", \"cat\": \"silofuse\", "
+        << "\"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid << ", \"ts\": "
+        << static_cast<double>(e.start_ns) / 1000.0 << ", \"dur\": "
+        << static_cast<double>(e.dur_ns) / 1000.0 << "}";
+  }
+  out << "\n]}\n";
+  out.flush();
+  if (!out) return Status::IOError("failed writing trace export: " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace silofuse

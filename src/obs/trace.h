@@ -1,0 +1,94 @@
+#ifndef SILOFUSE_OBS_TRACE_H_
+#define SILOFUSE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace silofuse {
+namespace obs {
+
+namespace internal_trace {
+/// Process-wide tracing switch. A relaxed load of this atomic is the entire
+/// disabled-path cost of SF_TRACE_SPAN.
+extern std::atomic<bool> g_enabled;
+/// Nanoseconds on the steady clock since the process trace epoch.
+int64_t NowNs();
+/// Appends one closed span to the calling thread's buffer. `name` must be a
+/// string literal (the pointer is stored, not the characters).
+void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns);
+}  // namespace internal_trace
+
+/// True when spans are being recorded.
+inline bool TraceEnabled() {
+  return internal_trace::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Starts recording spans. A non-empty `export_path` is written (Chrome
+/// trace-event JSON, loadable in chrome://tracing / Perfetto) by
+/// FlushTelemetry and automatically at process exit. Initial state comes
+/// from the SILOFUSE_TRACE environment variable.
+void EnableTracing(const std::string& export_path);
+void DisableTracing();
+
+/// Path WriteTraceJson is flushed to ("" = none).
+std::string TraceExportPath();
+
+/// One closed span, for programmatic inspection (tests, bench summaries).
+struct TraceEvent {
+  std::string name;
+  int tid = 0;          // small per-thread id, 1 = first recording thread
+  int64_t start_ns = 0;
+  int64_t dur_ns = 0;
+};
+
+/// Copies all recorded spans out of every thread buffer, sorted by start
+/// time. Does not clear the buffers.
+std::vector<TraceEvent> SnapshotTraceEvents();
+
+/// Drops all recorded spans (test isolation).
+void ClearTraceEvents();
+
+/// Writes the recorded spans as a Chrome trace-event JSON object to `path`.
+Status WriteTraceJson(const std::string& path);
+
+/// RAII span: records [construction, destruction) on the calling thread
+/// when tracing is enabled. Nesting works naturally — inner spans close
+/// before outer ones and the viewer stacks them by timestamp.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceEnabled()) {
+      name_ = name;
+      start_ns_ = internal_trace::NowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      internal_trace::RecordSpan(name_, start_ns_, internal_trace::NowNs());
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr = tracing was off at construction
+  int64_t start_ns_ = 0;
+};
+
+#define SF_OBS_CONCAT_INNER(a, b) a##b
+#define SF_OBS_CONCAT(a, b) SF_OBS_CONCAT_INNER(a, b)
+
+/// Scoped trace span; `name` must be a string literal.
+///   void Step() { SF_TRACE_SPAN("ddpm.train_step"); ... }
+#define SF_TRACE_SPAN(name) \
+  ::silofuse::obs::TraceSpan SF_OBS_CONCAT(sf_trace_span_, __LINE__)(name)
+
+}  // namespace obs
+}  // namespace silofuse
+
+#endif  // SILOFUSE_OBS_TRACE_H_

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace silofuse {
@@ -113,6 +115,16 @@ void RunRegion(int64_t begin, int64_t end, int64_t grain,
   if (n <= 0) return;
   const int64_t chunk = ChunkSize(n, grain);
   const int64_t num_chunks = (n + chunk - 1) / chunk;
+
+  // Region-granular telemetry only: one counter add (and, when tracing is
+  // on, one span) per parallel region, never per chunk or per element.
+  static obs::Counter* region_counter =
+      obs::MetricsRegistry::Global().GetCounter("runtime.regions");
+  static obs::Counter* chunk_counter =
+      obs::MetricsRegistry::Global().GetCounter("runtime.chunks");
+  region_counter->Increment();
+  chunk_counter->Add(num_chunks);
+  SF_TRACE_SPAN("runtime.region");
 
   int num_threads = 1;
   ThreadPool* pool = GetPool(&num_threads);

@@ -1,13 +1,54 @@
 #include "runtime/thread_pool.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace silofuse {
 namespace {
 
 thread_local bool tls_in_worker = false;
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Microsecond latency buckets shared by the queue-wait and task-duration
+// histograms: 10us .. 1s, roughly half-decade spacing.
+const std::vector<double>& LatencyBucketsUs() {
+  static const std::vector<double>* buckets = new std::vector<double>{
+      10, 50, 100, 500, 1'000, 5'000, 10'000, 50'000, 100'000, 1'000'000};
+  return *buckets;
+}
+
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Gauge* queue_depth;
+  obs::Histogram* queue_wait_us;
+  obs::Histogram* task_us;
+};
+
+// One-time registration; handles are process-lifetime so the hot path pays
+// only relaxed atomics (see DESIGN.md §8 overhead contract).
+const PoolMetrics& Metrics() {
+  static const PoolMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    PoolMetrics m;
+    m.tasks = registry.GetCounter("runtime.pool.tasks");
+    m.queue_depth = registry.GetGauge("runtime.pool.queue_depth");
+    m.queue_wait_us =
+        registry.GetHistogram("runtime.pool.queue_wait_us", LatencyBucketsUs());
+    m.task_us =
+        registry.GetHistogram("runtime.pool.task_us", LatencyBucketsUs());
+    return m;
+  }();
+  return metrics;
+}
 
 }  // namespace
 
@@ -30,6 +71,8 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   SF_CHECK(task != nullptr);
+  const int64_t now_ns = NowNs();
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // Submitting while the destructor drains is legal from worker tasks:
@@ -37,8 +80,10 @@ void ThreadPool::Submit(std::function<void()> task) {
     // before the pool joins. Only non-worker submits require the pool to
     // be outside its destructor (a plain lifetime rule).
     SF_CHECK(!stop_ || InWorker()) << "Submit on a stopped ThreadPool";
-    queue_.push_back(std::move(task));
+    queue_.push_back({std::move(task), now_ns});
+    depth = queue_.size();
   }
+  Metrics().queue_depth->Set(static_cast<double>(depth));
   cv_.notify_one();
 }
 
@@ -46,8 +91,9 @@ bool ThreadPool::InWorker() { return tls_in_worker; }
 
 void ThreadPool::WorkerLoop() {
   tls_in_worker = true;
+  const PoolMetrics& metrics = Metrics();
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -57,7 +103,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    const int64_t start_ns = NowNs();
+    metrics.queue_wait_us->Observe(
+        static_cast<double>(start_ns - task.enqueue_ns) / 1e3);
+    {
+      SF_TRACE_SPAN("pool.task");
+      task.fn();
+    }
+    metrics.task_us->Observe(static_cast<double>(NowNs() - start_ns) / 1e3);
+    metrics.tasks->Increment();
   }
 }
 

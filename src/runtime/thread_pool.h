@@ -2,6 +2,7 @@
 #define SILOFUSE_RUNTIME_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -42,11 +43,18 @@ class ThreadPool {
   static bool InWorker();
 
  private:
+  /// Queue entry: the task plus its enqueue timestamp, so the scheduler's
+  /// queue-wait latency is observable ("runtime.pool.queue_wait_us").
+  struct QueuedTask {
+    std::function<void()> fn;
+    int64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
