@@ -8,12 +8,15 @@
 // distributed TabDDPM would pay the one-hot expansion factor of Table II on
 // top.
 
+#include <cstring>
 #include <iostream>
 
 #include "bench_common.h"
+#include "common/clock.h"
 #include "common/string_util.h"
 #include "core/silofuse.h"
 #include "distributed/e2e_distributed.h"
+#include "distributed/fault.h"
 #include "metrics/report.h"
 #include "obs/metrics.h"
 
@@ -34,10 +37,18 @@ std::string HumanBytes(double bytes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  obs::InitTelemetryFromArgs(argc, argv);
+  argc = obs::InitTelemetryFromArgs(argc, argv);
+  // --fault-profile: re-run the SiloFuse exchange over a lossy channel and
+  // report the retry overhead the reliability layer pays to keep the
+  // one-shot protocol one-shot.
+  bool fault_profile = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fault-profile") == 0) fault_profile = true;
+  }
   const bench::BenchProfile profile = bench::MakeProfile(bench::Scale());
   std::cout << "== Fig. 10: training communication, SiloFuse vs E2EDistr "
                "(scale=" << profile.scale << ") ==\n\n";
+  std::vector<std::string> fault_lines;
 
   const std::vector<std::string> datasets = {"abalone", "intrusion"};
   const std::vector<int64_t> iteration_counts = {50'000, 500'000, 5'000'000};
@@ -66,6 +77,42 @@ int main(int argc, char** argv) {
     }
     const int64_t silofuse_bytes =
         silofuse_model.channel().bytes_with_tag("training_latents");
+
+    if (fault_profile) {
+      // Same exchange over a lossy wire: seeded faults on the latent upload,
+      // virtual clock so backoff costs no wall time.
+      FaultPlan plan(/*seed=*/20240207);
+      FaultSpec lossy;
+      lossy.drop_prob = 0.25;
+      lossy.corrupt_prob = 0.10;
+      lossy.duplicate_prob = 0.05;
+      plan.SetTagFaults("training_latents", lossy);
+      VirtualClock clock;
+      SiloFuseOptions faulty_options = options;
+      faulty_options.fault.plan = &plan;
+      faulty_options.fault.clock = &clock;
+      faulty_options.fault.retry.max_attempts = 8;
+      SiloFuse faulty_model(faulty_options);
+      Rng faulty_rng(77);
+      if (Status s = faulty_model.Fit(train, &faulty_rng); !s.ok()) {
+        std::cerr << "fault profile fit failed: " << s.ToString() << "\n";
+        return 1;
+      }
+      const Channel& ch = faulty_model.channel();
+      const int64_t faulty_bytes = ch.bytes_with_tag("training_latents");
+      const int64_t overhead = faulty_bytes - silofuse_bytes;
+      fault_lines.push_back(
+          "[" + dataset + "] lossy wire (25% drop, 10% corrupt, 5% dup): " +
+          std::to_string(ch.retries()) + " retries, " +
+          HumanBytes(static_cast<double>(ch.redelivered_bytes())) +
+          " redelivered, upload " + HumanBytes(faulty_bytes) + " vs clean " +
+          HumanBytes(silofuse_bytes) + " (overhead " +
+          HumanBytes(static_cast<double>(overhead)) + ", " +
+          FormatDouble(100.0 * static_cast<double>(overhead) /
+                           static_cast<double>(silofuse_bytes),
+                       1) +
+          "%)");
+    }
 
     // E2EDistr: run a handful of real iterations to measure the per-round
     // payload on the same channel.
@@ -108,5 +155,12 @@ int main(int argc, char** argv) {
   std::cout << "\nSiloFuse's stacked training ships training latents exactly "
                "once (O(1) rounds);\nE2EDistr exchanges activations and "
                "gradients every iteration (O(#iterations)).\n";
+  if (!fault_lines.empty()) {
+    std::cout << "\n-- fault profile (reliable transfer over a lossy wire) "
+                 "--\n";
+    for (const std::string& line : fault_lines) std::cout << line << "\n";
+    std::cout << "Retry overhead stays a constant factor on the one-shot "
+                 "exchange: the protocol\nremains O(1) rounds under loss.\n";
+  }
   return 0;
 }

@@ -1,0 +1,23 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace silofuse {
+
+SystemClock* SystemClock::Default() {
+  static SystemClock clock;
+  return &clock;
+}
+
+int64_t SystemClock::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepFor(int64_t ns) {
+  if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+}  // namespace silofuse

@@ -1,0 +1,63 @@
+#ifndef SILOFUSE_COMMON_CLOCK_H_
+#define SILOFUSE_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace silofuse {
+
+/// Time source abstraction so retry/backoff code can run against either the
+/// real monotonic clock or a deterministic virtual clock in tests. All
+/// durations are nanoseconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic now.
+  virtual int64_t NowNs() = 0;
+
+  /// Blocks (or, for virtual clocks, instantly advances) for `ns`.
+  virtual void SleepFor(int64_t ns) = 0;
+};
+
+/// Real wall time: steady_clock + this_thread::sleep_for.
+class SystemClock : public Clock {
+ public:
+  /// Shared process-wide instance (stateless, thread-safe).
+  static SystemClock* Default();
+
+  int64_t NowNs() override;
+  void SleepFor(int64_t ns) override;
+};
+
+/// Deterministic manual clock: SleepFor advances the reading instantly, so
+/// exponential-backoff schedules can be asserted exactly and chaos tests
+/// never actually wait. Thread-safe.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  int64_t NowNs() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_ns_;
+  }
+
+  void SleepFor(int64_t ns) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ns > 0) now_ns_ += ns;
+  }
+
+  /// Total virtual time slept since `start_ns`.
+  int64_t ElapsedNs(int64_t start_ns = 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_ns_ - start_ns;
+  }
+
+ private:
+  std::mutex mu_;
+  int64_t now_ns_;
+};
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_COMMON_CLOCK_H_

@@ -1,0 +1,41 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+namespace silofuse {
+
+int64_t BackoffDelayMs(const RetryPolicy& policy, int retry_index) {
+  if (retry_index < 0) retry_index = 0;
+  double delay = static_cast<double>(std::max<int64_t>(policy.initial_backoff_ms, 0));
+  const double cap = static_cast<double>(std::max<int64_t>(policy.max_backoff_ms, 0));
+  for (int i = 0; i < retry_index; ++i) {
+    delay *= policy.backoff_multiplier;
+    if (delay >= cap) return policy.max_backoff_ms;
+  }
+  return static_cast<int64_t>(std::min(delay, cap));
+}
+
+Status RunWithRetry(const RetryPolicy& policy, Clock* clock,
+                    const std::function<Status(int)>& attempt,
+                    const std::function<void(int, const Status&)>& on_retry) {
+  if (policy.max_attempts < 1) {
+    return Status::InvalidArgument("RetryPolicy.max_attempts must be >= 1");
+  }
+  if (clock == nullptr) clock = SystemClock::Default();
+  Status last = Status::OK();
+  for (int k = 1; k <= policy.max_attempts; ++k) {
+    if (k > 1) {
+      if (on_retry) on_retry(k, last);
+      clock->SleepFor(BackoffDelayMs(policy, k - 2) * 1'000'000);
+    }
+    last = attempt(k);
+    if (last.ok()) return last;
+    if (last.code() == StatusCode::kFailedPrecondition ||
+        last.code() == StatusCode::kInvalidArgument) {
+      return last;  // permanent: retrying cannot help
+    }
+  }
+  return last;
+}
+
+}  // namespace silofuse

@@ -1,0 +1,52 @@
+#ifndef SILOFUSE_COMMON_RETRY_H_
+#define SILOFUSE_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace silofuse {
+
+/// Bounded-retry + exponential-backoff contract shared by every reliable
+/// transfer in the cross-silo layer.
+///
+/// Attempt k (1-based) runs immediately for k == 1; before attempt k > 1 the
+/// caller sleeps BackoffDelayMs(policy, k - 2) milliseconds. The schedule is
+/// deliberately jitter-free so fault-injection tests can assert the exact
+/// virtual-clock timeline; real deployments would add jitter here.
+struct RetryPolicy {
+  /// Total delivery attempts (first try included). Must be >= 1.
+  int max_attempts = 4;
+  /// Backoff before the first retry.
+  int64_t initial_backoff_ms = 10;
+  /// Multiplier applied per further retry (initial, initial*m, initial*m^2,
+  /// ... capped at max_backoff_ms).
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_ms = 2000;
+  /// Per-attempt delivery deadline; an attempt whose (injected) latency
+  /// exceeds this fails with kDeadlineExceeded and is retried. 0 disables.
+  int64_t attempt_timeout_ms = 5000;
+};
+
+/// Backoff before retry `retry_index` (0-based: the delay between the
+/// original attempt and the first retry has index 0). Deterministic;
+/// monotonically non-decreasing; capped at policy.max_backoff_ms.
+int64_t BackoffDelayMs(const RetryPolicy& policy, int retry_index);
+
+/// Runs `attempt(k)` (k = 1-based attempt number) until it returns OK or the
+/// policy's attempt budget is exhausted, sleeping the backoff schedule on
+/// `clock` between attempts. `on_retry(k, status)`, when given, fires before
+/// the sleep preceding attempt k. Returns OK on success, otherwise the last
+/// attempt's Status. kFailedPrecondition and kInvalidArgument are treated as
+/// permanent and returned without further retries.
+Status RunWithRetry(const RetryPolicy& policy, Clock* clock,
+                    const std::function<Status(int)>& attempt,
+                    const std::function<void(int, const Status&)>& on_retry =
+                        nullptr);
+
+}  // namespace silofuse
+
+#endif  // SILOFUSE_COMMON_RETRY_H_

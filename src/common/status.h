@@ -18,6 +18,11 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kFailedPrecondition = 7,
+  /// A party or resource is (possibly transiently) unreachable; callers may
+  /// retry with backoff. Produced by the fault-injected transport layer.
+  kUnavailable = 8,
+  /// An attempt exceeded its per-attempt timeout budget.
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a stable human-readable name for `code` ("OK",
@@ -58,6 +63,12 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

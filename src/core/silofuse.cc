@@ -1,13 +1,37 @@
 #include "core/silofuse.h"
 
 #include <algorithm>
+#include <map>
 
 #include <fstream>
 
 #include "common/archive.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace silofuse {
+
+namespace {
+
+/// Remaps the surviving parts' original column indices onto a dense
+/// 0..K-1 range (rank order), so after a silo drops the partition is again
+/// a permutation of the synthesized columns and ReassembleColumns keeps
+/// restoring the surviving columns in their original relative order.
+std::vector<std::vector<int>> CompactPartition(
+    const std::vector<std::vector<int>>& parts) {
+  std::vector<int> flat;
+  for (const auto& p : parts) flat.insert(flat.end(), p.begin(), p.end());
+  std::sort(flat.begin(), flat.end());
+  std::map<int, int> rank;
+  for (size_t i = 0; i < flat.size(); ++i) rank[flat[i]] = static_cast<int>(i);
+  std::vector<std::vector<int>> out = parts;
+  for (auto& p : out) {
+    for (int& c : p) c = rank.at(c);
+  }
+  return out;
+}
+
+}  // namespace
 
 Status SiloFuse::Fit(const Table& data, Rng* rng) {
   SF_ASSIGN_OR_RETURN(auto partition,
@@ -54,15 +78,59 @@ Status SiloFuse::FitPartitioned(std::vector<Table> parts,
   }
 
   // --- Lines 8-10: the single communication round — latents to the
-  // coordinator, Z = Z_1 || ... || Z_M.
-  channel_.BeginRound();
+  // coordinator, Z = Z_1 || ... || Z_M. With a fault plan installed the
+  // round runs over checksummed retrying transfers; a silo whose upload
+  // permanently fails is dropped when K-of-M degradation is configured.
+  degraded_silos_.clear();
+  FaultyChannel wire(&channel_, options_.fault.plan);
+  ReliableTransfer transfer(&wire, options_.fault.retry, options_.fault.clock);
+  wire.BeginRound();
   std::vector<Matrix> latents;
+  std::vector<std::unique_ptr<SiloClient>> survivors;
+  std::vector<std::vector<int>> surviving_partition;
   latents.reserve(clients_.size());
-  for (auto& client : clients_) {
-    Matrix z_i = client->ComputeLatents();
-    channel_.SendMatrix(client->party_name(), "coordinator", z_i,
-                        "training_latents");
-    latents.push_back(std::move(z_i));
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    SiloClient* client = clients_[i].get();
+    if (!options_.fault.active()) {
+      Matrix z_i = client->ComputeLatents();
+      channel_.SendMatrix(client->party_name(), "coordinator", z_i,
+                          "training_latents");
+      latents.push_back(std::move(z_i));
+      survivors.push_back(std::move(clients_[i]));
+      surviving_partition.push_back(partition_[i]);
+      continue;
+    }
+    Result<Matrix> delivered = client->UploadLatents(&transfer);
+    if (delivered.ok()) {
+      latents.push_back(std::move(delivered).Value());
+      survivors.push_back(std::move(clients_[i]));
+      surviving_partition.push_back(partition_[i]);
+      continue;
+    }
+    if (options_.min_clients <= 0) {
+      return Status(delivered.status().code(),
+                    "latent upload from " + client->party_name() +
+                        " failed: " + delivered.status().message());
+    }
+    SF_LOG(Warning) << "SiloFuse degraded mode: dropping "
+                    << client->party_name() << " ("
+                    << delivered.status().ToString() << ")";
+    degraded_silos_.push_back(client->id());
+  }
+  const int surviving = static_cast<int>(survivors.size());
+  if (surviving < std::max(options_.min_clients, 1)) {
+    return Status::Unavailable(
+        "only " + std::to_string(surviving) + " of " +
+        std::to_string(num_clients) +
+        " silos completed the latent upload (min_clients=" +
+        std::to_string(options_.min_clients) + ")");
+  }
+  clients_ = std::move(survivors);
+  if (!degraded_silos_.empty()) {
+    static obs::Counter* degraded_counter =
+        obs::MetricsRegistry::Global().GetCounter("silofuse.degraded_silos");
+    degraded_counter->Add(static_cast<int64_t>(degraded_silos_.size()));
+    partition_ = CompactPartition(surviving_partition);
   }
   Matrix z = Matrix::ConcatCols(latents);
 
@@ -92,16 +160,29 @@ Result<std::vector<Table>> SiloFuse::SynthesizePartitioned(int num_rows,
                                             options_.base.inference_steps,
                                             options_.base.sampling_eta, rng));
   // ... partitions Z~ = Z~_1 || ... || Z~_M and ships each client its slice.
-  channel_.BeginRound();
+  FaultyChannel wire(&channel_, options_.fault.plan);
+  ReliableTransfer transfer(&wire, options_.fault.retry, options_.fault.clock);
+  wire.BeginRound();
   std::vector<Table> outputs;
   outputs.reserve(clients_.size());
   int offset = 0;
   for (auto& client : clients_) {
     Matrix z_i = z.SliceCols(offset, client->latent_dim());
     offset += client->latent_dim();
-    channel_.SendMatrix("coordinator", client->party_name(), z_i,
-                        "synthetic_latents");
-    outputs.push_back(client->Decode(z_i, rng, /*sample=*/true));
+    if (!options_.fault.active()) {
+      channel_.SendMatrix("coordinator", client->party_name(), z_i,
+                          "synthetic_latents");
+      outputs.push_back(client->Decode(z_i, rng, /*sample=*/true));
+      continue;
+    }
+    Result<Matrix> delivered =
+        coordinator_->ShipLatentSlice(&transfer, client->party_name(), z_i);
+    if (!delivered.ok()) {
+      return Status(delivered.status().code(),
+                    "synthetic latent delivery to " + client->party_name() +
+                        " failed: " + delivered.status().message());
+    }
+    outputs.push_back(client->Decode(delivered.Value(), rng, /*sample=*/true));
   }
   return outputs;
 }

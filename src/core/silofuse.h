@@ -7,6 +7,7 @@
 #include "distributed/channel.h"
 #include "distributed/client.h"
 #include "distributed/coordinator.h"
+#include "distributed/fault.h"
 #include "distributed/partition.h"
 #include "models/latent_diffusion.h"
 #include "models/synthesizer.h"
@@ -24,6 +25,16 @@ struct SiloFuseOptions {
   PartitionConfig partition;  // paper default: 4 clients, no permutation
   /// Minimum per-client hidden width after the split.
   int min_client_hidden = 16;
+  /// Fault injection + reliable transfer (fault.h). A null plan keeps the
+  /// original perfect in-process wire; with a plan set, every cross-silo
+  /// matrix transfer runs through checksummed delivery with bounded retry,
+  /// exponential backoff, and per-attempt timeouts.
+  FaultInjection fault;
+  /// K-of-M degraded mode: minimum number of silos whose latent upload must
+  /// succeed for training to proceed (failed silos are dropped and the
+  /// partition bookkeeping compacted to the surviving columns). 0 = require
+  /// every silo; any permanent upload failure aborts Fit with kUnavailable.
+  int min_clients = 0;
 };
 
 /// SiloFuse: cross-silo synthetic data generation with a distributed latent
@@ -77,6 +88,10 @@ class SiloFuse : public Synthesizer {
   Coordinator* coordinator() { return coordinator_.get(); }
   const SiloFuseOptions& options() const { return options_; }
 
+  /// Original ids of silos dropped by K-of-M degraded training (empty on a
+  /// fault-free or fully-recovered run).
+  const std::vector<int>& degraded_silos() const { return degraded_silos_; }
+
   /// Total latent width s = sum_i s_i.
   int total_latent_dim() const;
 
@@ -97,6 +112,7 @@ class SiloFuse : public Synthesizer {
   std::vector<std::unique_ptr<SiloClient>> clients_;
   std::unique_ptr<Coordinator> coordinator_;
   Channel channel_;
+  std::vector<int> degraded_silos_;
   bool fitted_ = false;
 };
 

@@ -16,6 +16,12 @@ int64_t MonotonicNs() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+obs::Counter* RedeliveredCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("channel.redelivered_bytes");
+  return c;
+}
 }  // namespace
 
 int64_t MatrixWireBytes(const Matrix& m) {
@@ -79,6 +85,33 @@ void Channel::BeginRound() {
   round_counter->Increment();
 }
 
+void Channel::RecordRetry(int64_t redelivered_bytes) {
+  static obs::Counter* retry_counter =
+      obs::MetricsRegistry::Global().GetCounter("channel.retries");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++retries_;
+    redelivered_bytes_ += redelivered_bytes;
+    if (!round_log_.empty()) {
+      round_log_.back().retries += 1;
+      round_log_.back().redelivered_bytes += redelivered_bytes;
+    }
+  }
+  retry_counter->Increment();
+  RedeliveredCounter()->Add(redelivered_bytes);
+}
+
+void Channel::RecordRedelivered(int64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    redelivered_bytes_ += bytes;
+    if (!round_log_.empty()) {
+      round_log_.back().redelivered_bytes += bytes;
+    }
+  }
+  RedeliveredCounter()->Add(bytes);
+}
+
 int64_t Channel::total_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_bytes_;
@@ -92,6 +125,16 @@ int64_t Channel::message_count() const {
 int64_t Channel::rounds() const {
   std::lock_guard<std::mutex> lock(mu_);
   return rounds_;
+}
+
+int64_t Channel::retries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retries_;
+}
+
+int64_t Channel::redelivered_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return redelivered_bytes_;
 }
 
 int64_t Channel::bytes_with_tag(const std::string& tag) const {
@@ -117,13 +160,38 @@ std::vector<ChannelRound> Channel::RoundLog() const {
 }
 
 void Channel::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  log_.clear();
-  bytes_by_tag_.clear();
-  round_log_.clear();
-  round_start_ns_ = 0;
-  total_bytes_ = 0;
-  rounds_ = 0;
+  // Copy the totals out under the lock, then walk the global obs counters
+  // back by exactly this channel's contribution so "registry snapshot ==
+  // sum of live channels" keeps holding after a reset (the counters the
+  // fault layer owns are documented exceptions — see the header).
+  int64_t bytes, messages, rounds, retries, redelivered;
+  std::map<std::string, int64_t> by_tag;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes = total_bytes_;
+    messages = static_cast<int64_t>(log_.size());
+    rounds = rounds_;
+    retries = retries_;
+    redelivered = redelivered_bytes_;
+    by_tag = bytes_by_tag_;
+    log_.clear();
+    bytes_by_tag_.clear();
+    round_log_.clear();
+    round_start_ns_ = 0;
+    total_bytes_ = 0;
+    rounds_ = 0;
+    retries_ = 0;
+    redelivered_bytes_ = 0;
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("channel.bytes")->Add(-bytes);
+  registry.GetCounter("channel.messages")->Add(-messages);
+  registry.GetCounter("channel.rounds")->Add(-rounds);
+  registry.GetCounter("channel.retries")->Add(-retries);
+  RedeliveredCounter()->Add(-redelivered);
+  for (const auto& [tag, tag_bytes] : by_tag) {
+    registry.GetCounter("channel.bytes." + tag)->Add(-tag_bytes);
+  }
 }
 
 std::string Channel::Summary() const {
@@ -131,6 +199,10 @@ std::string Channel::Summary() const {
   std::ostringstream out;
   out << "Channel: " << total_bytes_ << " bytes in " << log_.size()
       << " messages over " << rounds_ << " rounds\n";
+  if (retries_ > 0 || redelivered_bytes_ > 0) {
+    out << "  (reliability: " << retries_ << " retries, "
+        << redelivered_bytes_ << " redelivered bytes)\n";
+  }
   for (const auto& [tag, bytes] : bytes_by_tag_) {
     out << "  " << tag << ": " << bytes << " bytes\n";
   }

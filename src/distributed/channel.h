@@ -28,6 +28,12 @@ struct ChannelMessage {
 struct ChannelRound {
   int64_t bytes = 0;
   int64_t messages = 0;
+  /// Re-delivery attempts performed by the reliability layer in this round
+  /// (0 on a fault-free wire).
+  int64_t retries = 0;
+  /// Bytes that crossed the wire more than once (retransmissions and
+  /// duplicate deliveries) in this round.
+  int64_t redelivered_bytes = 0;
   /// Wall time from this round's BeginRound to the next one (or to the
   /// stats read for the still-open last round).
   double wall_ms = 0.0;
@@ -63,9 +69,21 @@ class Channel {
   /// previous round.
   void BeginRound();
 
+  /// Records one retry performed by the reliability layer (fault.h):
+  /// `redelivered_bytes` retransmitted bytes land in the open round's
+  /// subtotal and the global "channel.retries" / "channel.redelivered_bytes"
+  /// counters.
+  void RecordRetry(int64_t redelivered_bytes);
+
+  /// Records bytes that were delivered more than once without a retry
+  /// (duplicate injection).
+  void RecordRedelivered(int64_t bytes);
+
   int64_t total_bytes() const;
   int64_t message_count() const;
   int64_t rounds() const;
+  int64_t retries() const;
+  int64_t redelivered_bytes() const;
   int64_t bytes_with_tag(const std::string& tag) const;
 
   /// Copy of the full message log (snapshot under the channel lock).
@@ -75,6 +93,14 @@ class Channel {
   /// the first BeginRound appear only in the cumulative totals.
   std::vector<ChannelRound> RoundLog() const;
 
+  /// Clears the message/round logs AND walks back this channel's own
+  /// contributions to the global obs counters ("channel.bytes",
+  /// "channel.bytes.<tag>", "channel.messages", "channel.rounds",
+  /// "channel.retries", "channel.redelivered_bytes"), so registry snapshots
+  /// stay equal to the sum of live channel state. Fault-layer counters
+  /// ("channel.dropped", "channel.corrupt_detected", "channel.duplicates",
+  /// "channel.timeouts") are owned by fault.h and deliberately keep their
+  /// process-lifetime totals.
   void Reset();
 
   /// Multi-line human-readable summary (per-tag byte totals). The format of
@@ -94,6 +120,8 @@ class Channel {
   int64_t round_start_ns_ = 0;
   int64_t total_bytes_ = 0;
   int64_t rounds_ = 0;
+  int64_t retries_ = 0;
+  int64_t redelivered_bytes_ = 0;
 };
 
 }  // namespace silofuse

@@ -1,5 +1,7 @@
 #include "distributed/client.h"
 
+#include "distributed/fault.h"
+
 namespace silofuse {
 
 Result<std::unique_ptr<SiloClient>> SiloClient::Create(
@@ -30,6 +32,11 @@ double SiloClient::TrainAutoencoder(int steps, int batch_size, Rng* rng) {
 
 Matrix SiloClient::ComputeLatents() const {
   return autoencoder_->EncodeTable(features_);
+}
+
+Result<Matrix> SiloClient::UploadLatents(ReliableTransfer* transfer) const {
+  return transfer->SendMatrix(party_name(), "coordinator", ComputeLatents(),
+                              "training_latents");
 }
 
 Table SiloClient::Decode(const Matrix& latents, Rng* rng, bool sample) {

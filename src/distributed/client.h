@@ -9,6 +9,8 @@
 
 namespace silofuse {
 
+class ReliableTransfer;
+
 /// A data silo C_i: owns a vertical slice of the feature-partitioned table
 /// and a private autoencoder (E_i, D_i). Raw features and the decoder never
 /// leave this object — the only outbound artifact is the latent matrix Z_i.
@@ -29,6 +31,13 @@ class SiloClient {
 
   /// Z_i = E_i(X_i) over the full local feature set (line 9).
   Matrix ComputeLatents() const;
+
+  /// Ships Z_i to the coordinator over a reliable (checksummed, retrying)
+  /// transfer and returns the matrix exactly as the coordinator received it
+  /// — bit-identical to ComputeLatents() on success. Surfaces kUnavailable
+  /// when the wire's retry budget is exhausted or this silo is scripted
+  /// down, letting the coordinator run K-of-M degraded training.
+  Result<Matrix> UploadLatents(ReliableTransfer* transfer) const;
 
   /// X~_i = D_i(Z~_i): local decoding of (synthetic) latents (Algorithm 2).
   Table Decode(const Matrix& latents, Rng* rng, bool sample = true);

@@ -1,10 +1,17 @@
 #include "distributed/coordinator.h"
 
 #include "data/split.h"
+#include "distributed/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace silofuse {
+
+Result<Matrix> Coordinator::ShipLatentSlice(ReliableTransfer* transfer,
+                                            const std::string& to,
+                                            const Matrix& slice) const {
+  return transfer->SendMatrix(party_name(), to, slice, "synthetic_latents");
+}
 
 Status Coordinator::TrainOnLatents(const Matrix& latents, int steps,
                                    int batch_size, Rng* rng) {

@@ -11,6 +11,8 @@
 
 namespace silofuse {
 
+class ReliableTransfer;
+
 /// The coordinator/server holding the generative diffusion backbone G.
 /// It only ever sees latent matrices — by Theorem 1 it cannot reconstruct
 /// client features from them without the (private) decoders.
@@ -29,6 +31,13 @@ class Coordinator {
   /// steps (Algorithm 2, lines 3-4), de-standardized to the client scale.
   Result<Matrix> SampleLatents(int num_rows, int inference_steps, double eta,
                                Rng* rng);
+
+  /// Ships one client's synthetic latent slice over a reliable transfer;
+  /// returns the slice as the client received it (bit-identical on
+  /// success). kUnavailable signals exhausted retries or a down silo.
+  Result<Matrix> ShipLatentSlice(ReliableTransfer* transfer,
+                                 const std::string& to,
+                                 const Matrix& slice) const;
 
   GaussianDdpm* ddpm() { return ddpm_.get(); }
   bool trained() const { return ddpm_ != nullptr; }

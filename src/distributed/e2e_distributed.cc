@@ -15,6 +15,15 @@ Status E2EDistrSynthesizer::Fit(const Table& data, Rng* rng) {
     return Status::InvalidArgument("E2EDistr needs at least 2 rows");
   }
   channel_.Reset();
+  if (fault_.active()) {
+    wire_ = std::make_unique<FaultyChannel>(&channel_, fault_.plan);
+    transfer_ =
+        std::make_unique<ReliableTransfer>(wire_.get(), fault_.retry,
+                                           fault_.clock);
+  } else {
+    transfer_.reset();
+    wire_.reset();
+  }
   SF_ASSIGN_OR_RETURN(partition_,
                       PartitionColumns(data.num_columns(), partition_config_));
   clients_.clear();
@@ -62,7 +71,8 @@ Status E2EDistrSynthesizer::Fit(const Table& data, Rng* rng) {
   for (int s = 0; s < steps; ++s) {
     const std::vector<int> rows = SampleBatchIndices(
         data.num_rows(), std::min(config_.batch_size, data.num_rows()), rng);
-    auto [r, d] = TrainIteration(rows, rng);
+    SF_ASSIGN_OR_RETURN(auto losses, TrainIteration(rows, rng));
+    const auto [r, d] = losses;
     recon = 0.95 * recon + 0.05 * r;
     diff = 0.95 * diff + 0.05 * d;
     telemetry.Step({{"recon_loss", recon}, {"diffusion_loss", diff}});
@@ -73,12 +83,26 @@ Status E2EDistrSynthesizer::Fit(const Table& data, Rng* rng) {
   return Status::OK();
 }
 
-std::pair<double, double> E2EDistrSynthesizer::TrainIteration(
+Result<std::pair<double, double>> E2EDistrSynthesizer::TrainIteration(
     const std::vector<int>& batch_rows, Rng* rng) {
   SF_CHECK(backbone_ != nullptr);
   SF_TRACE_SPAN("e2e_distr.round");
   const int batch = static_cast<int>(batch_rows.size());
-  channel_.BeginRound();
+  if (wire_ != nullptr) {
+    wire_->BeginRound();
+  } else {
+    channel_.BeginRound();
+  }
+  // Routes one matrix exchange through the reliable transfer when fault
+  // injection is active, else over the original perfect wire.
+  auto ship = [&](const std::string& from, const std::string& to,
+                  const Matrix& m, const char* tag) -> Result<Matrix> {
+    if (transfer_ == nullptr) {
+      channel_.SendMatrix(from, to, m, tag);
+      return m;
+    }
+    return transfer_->SendMatrix(from, to, m, tag);
+  };
 
   // Forward 1/2: clients encode and ship activations (latents).
   std::vector<Matrix> z_parts;
@@ -86,8 +110,8 @@ std::pair<double, double> E2EDistrSynthesizer::TrainIteration(
   for (size_t i = 0; i < clients_.size(); ++i) {
     Matrix x_i = client_inputs_[i].GatherRows(batch_rows);
     Matrix z_i = clients_[i]->autoencoder()->EncoderForward(x_i, true);
-    channel_.SendMatrix(clients_[i]->party_name(), "coordinator", z_i,
-                        "forward_activations");
+    SF_ASSIGN_OR_RETURN(z_i, ship(clients_[i]->party_name(), "coordinator",
+                                  z_i, "forward_activations"));
     z_parts.push_back(std::move(z_i));
   }
   Matrix z = Matrix::ConcatCols(z_parts);
@@ -109,8 +133,9 @@ std::pair<double, double> E2EDistrSynthesizer::TrainIteration(
   for (size_t i = 0; i < clients_.size(); ++i) {
     const int s_i = clients_[i]->latent_dim();
     Matrix z0_hat_i = z0_hat.SliceCols(offset, s_i);
-    channel_.SendMatrix("coordinator", clients_[i]->party_name(), z0_hat_i,
-                        "denoised_latents");
+    SF_ASSIGN_OR_RETURN(z0_hat_i,
+                        ship("coordinator", clients_[i]->party_name(),
+                             z0_hat_i, "denoised_latents"));
     // Client-side decode + head loss + decoder backward.
     TabularAutoencoder* ae = clients_[i]->autoencoder();
     Matrix x_i = client_inputs_[i].GatherRows(batch_rows);
@@ -118,8 +143,9 @@ std::pair<double, double> E2EDistrSynthesizer::TrainIteration(
     Matrix grad_heads;
     recon_loss += ae->HeadLoss(heads, x_i, &grad_heads);
     Matrix grad_z0_i = ae->DecoderBackward(grad_heads);
-    channel_.SendMatrix(clients_[i]->party_name(), "coordinator", grad_z0_i,
-                        "backward_gradients");
+    SF_ASSIGN_OR_RETURN(grad_z0_i,
+                        ship(clients_[i]->party_name(), "coordinator",
+                             grad_z0_i, "backward_gradients"));
     for (int r = 0; r < batch; ++r) {
       const float* src = grad_z0_i.row_data(r);
       float* dst = grad_pred.row_data(r) + offset;
@@ -150,15 +176,16 @@ std::pair<double, double> E2EDistrSynthesizer::TrainIteration(
       float* dst = grad_z_i.row_data(r);
       for (int c = 0; c < s_i; ++c) dst[c] = s0 * src[c] - mse[c];
     }
-    channel_.SendMatrix("coordinator", clients_[i]->party_name(), grad_z_i,
-                        "backward_gradients");
+    SF_ASSIGN_OR_RETURN(grad_z_i,
+                        ship("coordinator", clients_[i]->party_name(),
+                             grad_z_i, "backward_gradients"));
     clients_[i]->autoencoder()->EncoderBackward(grad_z_i);
     offset += s_i;
   }
 
   joint_optimizer_->ClipGradNorm(config_.autoencoder.grad_clip);
   joint_optimizer_->Step();
-  return {recon_loss, diffusion_loss};
+  return std::make_pair(recon_loss, diffusion_loss);
 }
 
 Result<Table> E2EDistrSynthesizer::Synthesize(int num_rows, Rng* rng) {
@@ -166,15 +193,25 @@ Result<Table> E2EDistrSynthesizer::Synthesize(int num_rows, Rng* rng) {
   if (num_rows <= 0) return Status::InvalidArgument("num_rows must be > 0");
   Matrix z = backbone_->Sample(num_rows, config_.inference_steps, rng,
                                config_.sampling_eta);
-  channel_.BeginRound();
+  if (wire_ != nullptr) {
+    wire_->BeginRound();
+  } else {
+    channel_.BeginRound();
+  }
   std::vector<Table> parts;
   parts.reserve(clients_.size());
   int offset = 0;
   for (auto& client : clients_) {
     Matrix z_i = z.SliceCols(offset, client->latent_dim());
     offset += client->latent_dim();
-    channel_.SendMatrix("coordinator", client->party_name(), z_i,
-                        "synthetic_latents");
+    if (transfer_ != nullptr) {
+      SF_ASSIGN_OR_RETURN(z_i, transfer_->SendMatrix("coordinator",
+                                                     client->party_name(), z_i,
+                                                     "synthetic_latents"));
+    } else {
+      channel_.SendMatrix("coordinator", client->party_name(), z_i,
+                          "synthetic_latents");
+    }
     parts.push_back(client->Decode(z_i, rng, /*sample=*/true));
   }
   return ReassembleColumns(parts, partition_);

@@ -7,6 +7,7 @@
 #include "diffusion/gaussian_ddpm.h"
 #include "distributed/channel.h"
 #include "distributed/client.h"
+#include "distributed/fault.h"
 #include "distributed/partition.h"
 #include "models/latent_diffusion.h"
 #include "models/synthesizer.h"
@@ -31,9 +32,16 @@ class E2EDistrSynthesizer : public Synthesizer {
   /// One joint iteration over a shared batch-row selection; returns
   /// (reconstruction, diffusion) losses. Every call performs one
   /// communication round: activations up, denoised slices down, head
-  /// gradients up, latent gradients down.
-  std::pair<double, double> TrainIteration(const std::vector<int>& batch_rows,
-                                           Rng* rng);
+  /// gradients up, latent gradients down. Under an installed fault plan the
+  /// exchanges run over reliable transfers; exhausted retries or a silo
+  /// vanishing mid-training surface as kUnavailable (split-learning model
+  /// parallelism cannot degrade to K-of-M — every slice is load-bearing).
+  Result<std::pair<double, double>> TrainIteration(
+      const std::vector<int>& batch_rows, Rng* rng);
+
+  /// Installs fault injection + reliability settings; call before Fit. The
+  /// plan and clock are borrowed and must outlive this synthesizer.
+  void set_fault(const FaultInjection& fault) { fault_ = fault; }
 
   const Channel& channel() const { return channel_; }
   Channel* mutable_channel() { return &channel_; }
@@ -51,6 +59,9 @@ class E2EDistrSynthesizer : public Synthesizer {
   std::unique_ptr<GaussianDdpm> backbone_;
   std::unique_ptr<Adam> joint_optimizer_;
   Channel channel_;
+  FaultInjection fault_;
+  std::unique_ptr<FaultyChannel> wire_;         // set when fault_ is active
+  std::unique_ptr<ReliableTransfer> transfer_;  // ditto
   int64_t bytes_per_round_ = 0;
   bool fitted_ = false;
 };

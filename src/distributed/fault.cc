@@ -1,0 +1,330 @@
+#include "distributed/fault.h"
+
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace silofuse {
+
+namespace {
+
+// "SFWM": SiloFuse wire matrix.
+constexpr uint32_t kFrameMagic = 0x5346574Du;
+constexpr size_t kFrameHeaderBytes = 24;
+constexpr size_t kFrameChecksumBytes = 8;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+template <typename T>
+void PutLe(std::vector<uint8_t>* out, size_t offset, T value) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    (*out)[offset + i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+template <typename T>
+T GetLe(const std::vector<uint8_t>& in, size_t offset) {
+  T value = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(in[offset + i]) << (8 * i);
+  }
+  return value;
+}
+
+obs::Counter* DroppedCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("channel.dropped");
+  return c;
+}
+
+obs::Counter* DuplicateCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("channel.duplicates");
+  return c;
+}
+
+obs::Counter* CorruptCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("channel.corrupt_detected");
+  return c;
+}
+
+obs::Counter* TimeoutCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("channel.timeouts");
+  return c;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const uint8_t* data, size_t n, uint64_t seed) {
+  uint64_t hash = seed;
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= data[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::vector<uint8_t> EncodeMatrixFrame(const Matrix& m, uint64_t seq) {
+  const size_t payload = m.size() * sizeof(float);
+  std::vector<uint8_t> frame(kFrameHeaderBytes + payload + kFrameChecksumBytes);
+  PutLe<uint32_t>(&frame, 0, kFrameMagic);
+  PutLe<uint32_t>(&frame, 4, static_cast<uint32_t>(m.rows()));
+  PutLe<uint32_t>(&frame, 8, static_cast<uint32_t>(m.cols()));
+  PutLe<uint64_t>(&frame, 12, seq);
+  PutLe<uint32_t>(&frame, 20, 0u);  // reserved
+  if (payload > 0) {
+    std::memcpy(frame.data() + kFrameHeaderBytes, m.data(), payload);
+  }
+  const uint64_t checksum =
+      Fnv1a64(frame.data(), kFrameHeaderBytes + payload);
+  PutLe<uint64_t>(&frame, kFrameHeaderBytes + payload, checksum);
+  return frame;
+}
+
+Result<Matrix> DecodeMatrixFrame(const std::vector<uint8_t>& frame,
+                                 uint64_t* seq_out) {
+  if (frame.size() < kFrameHeaderBytes + kFrameChecksumBytes) {
+    return Status::IOError("matrix frame shorter than header");
+  }
+  if (GetLe<uint32_t>(frame, 0) != kFrameMagic) {
+    return Status::IOError("bad matrix frame magic");
+  }
+  const int64_t rows = GetLe<uint32_t>(frame, 4);
+  const int64_t cols = GetLe<uint32_t>(frame, 8);
+  const uint64_t seq = GetLe<uint64_t>(frame, 12);
+  const int64_t payload = rows * cols * static_cast<int64_t>(sizeof(float));
+  if (rows > (1ll << 31) || cols > (1ll << 31) ||
+      static_cast<int64_t>(frame.size()) !=
+          static_cast<int64_t>(kFrameHeaderBytes + kFrameChecksumBytes) +
+              payload) {
+    return Status::IOError("matrix frame size does not match its shape");
+  }
+  const uint64_t expected =
+      Fnv1a64(frame.data(), kFrameHeaderBytes + static_cast<size_t>(payload));
+  if (GetLe<uint64_t>(frame, kFrameHeaderBytes + payload) != expected) {
+    return Status::IOError("matrix frame checksum mismatch");
+  }
+  Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+  if (payload > 0) {
+    std::memcpy(m.data(), frame.data() + kFrameHeaderBytes,
+                static_cast<size_t>(payload));
+  }
+  if (seq_out != nullptr) *seq_out = seq;
+  return m;
+}
+
+void FaultPlan::SetTagFaults(const std::string& tag, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_tag_[tag] = spec;
+}
+
+void FaultPlan::SetDefaultFaults(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_spec_ = spec;
+}
+
+void FaultPlan::DropSiloAtRound(const std::string& party, int64_t round) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dropout_round_[party] = round;
+}
+
+bool FaultPlan::SiloDown(const std::string& party) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dropout_round_.find(party);
+  return it != dropout_round_.end() && round_ >= it->second;
+}
+
+void FaultPlan::AdvanceRound() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++round_;
+}
+
+int64_t FaultPlan::current_round() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return round_;
+}
+
+FaultDecision FaultPlan::Decide(const std::string& from, const std::string& to,
+                                const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultDecision d;
+  {
+    auto down = [this](const std::string& party) {
+      auto it = dropout_round_.find(party);
+      return it != dropout_round_.end() && round_ >= it->second;
+    };
+    if (down(from) || down(to)) {
+      d.action = FaultAction::kSiloDown;
+      return d;
+    }
+  }
+  auto it = by_tag_.find(tag);
+  FaultSpec& spec = it != by_tag_.end() ? it->second : default_spec_;
+
+  // Scripted faults first (deterministic, no Rng consumed).
+  if (spec.drop_first > 0) {
+    --spec.drop_first;
+    d.action = FaultAction::kDrop;
+    return d;
+  }
+  if (spec.corrupt_first > 0) {
+    --spec.corrupt_first;
+    d.action = FaultAction::kCorrupt;
+    d.corrupt_seed = rng_.engine()();
+    return d;
+  }
+  if (spec.duplicate_first > 0) {
+    --spec.duplicate_first;
+    d.action = FaultAction::kDuplicate;
+    return d;
+  }
+  if (spec.delay_first > 0) {
+    --spec.delay_first;
+    d.action = FaultAction::kDelay;
+    d.delay_ms = spec.delay_ms;
+    return d;
+  }
+
+  // Probabilistic faults, fixed evaluation order for a stable trace.
+  if (spec.drop_prob > 0.0 && rng_.Bernoulli(spec.drop_prob)) {
+    d.action = FaultAction::kDrop;
+    return d;
+  }
+  if (spec.corrupt_prob > 0.0 && rng_.Bernoulli(spec.corrupt_prob)) {
+    d.action = FaultAction::kCorrupt;
+    d.corrupt_seed = rng_.engine()();
+    return d;
+  }
+  if (spec.duplicate_prob > 0.0 && rng_.Bernoulli(spec.duplicate_prob)) {
+    d.action = FaultAction::kDuplicate;
+    return d;
+  }
+  if (spec.delay_prob > 0.0 && rng_.Bernoulli(spec.delay_prob)) {
+    d.action = FaultAction::kDelay;
+    d.delay_ms = spec.delay_ms;
+    return d;
+  }
+  return d;
+}
+
+Status FaultyChannel::TryDeliver(const std::string& from, const std::string& to,
+                                 const std::vector<uint8_t>& frame,
+                                 const std::string& tag,
+                                 std::vector<uint8_t>* delivered,
+                                 int64_t* delay_ms) {
+  *delay_ms = 0;
+  const int64_t bytes = static_cast<int64_t>(frame.size());
+  if (plan_ == nullptr) {
+    inner_->Send(from, to, bytes, tag);
+    *delivered = frame;
+    return Status::OK();
+  }
+  FaultDecision d = plan_->Decide(from, to, tag);
+  switch (d.action) {
+    case FaultAction::kSiloDown:
+      // The party vanished: nothing reaches the wire.
+      return Status::Unavailable("silo unreachable on '" + tag + "' (" + from +
+                                 " -> " + to + ")");
+    case FaultAction::kDrop:
+      inner_->Send(from, to, bytes, tag);
+      DroppedCounter()->Increment();
+      return Status::Unavailable("message dropped on '" + tag + "' (" + from +
+                                 " -> " + to + ")");
+    case FaultAction::kCorrupt: {
+      inner_->Send(from, to, bytes, tag);
+      *delivered = frame;
+      const size_t pos = static_cast<size_t>(d.corrupt_seed % frame.size());
+      (*delivered)[pos] ^= 0xFF;  // never a no-op flip
+      return Status::OK();
+    }
+    case FaultAction::kDuplicate:
+      // Both copies consume bandwidth; the receiver keeps the first.
+      inner_->Send(from, to, bytes, tag);
+      inner_->Send(from, to, bytes, tag);
+      inner_->RecordRedelivered(bytes);
+      DuplicateCounter()->Increment();
+      *delivered = frame;
+      return Status::OK();
+    case FaultAction::kDelay:
+      inner_->Send(from, to, bytes, tag);
+      *delivered = frame;
+      *delay_ms = d.delay_ms;
+      return Status::OK();
+    case FaultAction::kDeliver:
+      inner_->Send(from, to, bytes, tag);
+      *delivered = frame;
+      return Status::OK();
+  }
+  return Status::Internal("unhandled fault action");
+}
+
+bool FaultyChannel::PartyDown(const std::string& party) const {
+  return plan_ != nullptr && plan_->SiloDown(party);
+}
+
+void FaultyChannel::BeginRound() {
+  if (plan_ != nullptr) plan_->AdvanceRound();
+  inner_->BeginRound();
+}
+
+Result<Matrix> ReliableTransfer::SendMatrix(const std::string& from,
+                                            const std::string& to,
+                                            const Matrix& payload,
+                                            const std::string& tag) {
+  const uint64_t seq = next_seq_++;
+  const std::vector<uint8_t> frame = EncodeMatrixFrame(payload, seq);
+  Matrix received;
+  auto attempt = [&](int k) -> Status {
+    if (channel_->PartyDown(from) || channel_->PartyDown(to)) {
+      // Permanent for this round: RunWithRetry stops immediately on
+      // kFailedPrecondition; mapped back to kUnavailable below.
+      return Status::FailedPrecondition("silo down: cannot deliver '" + tag +
+                                        "' from " + from + " to " + to);
+    }
+    std::vector<uint8_t> delivered;
+    int64_t delay_ms = 0;
+    SF_RETURN_NOT_OK(
+        channel_->TryDeliver(from, to, frame, tag, &delivered, &delay_ms));
+    if (delay_ms > 0) {
+      clock_->SleepFor(delay_ms * 1'000'000);
+      if (policy_.attempt_timeout_ms > 0 &&
+          delay_ms > policy_.attempt_timeout_ms) {
+        TimeoutCounter()->Increment();
+        return Status::DeadlineExceeded(
+            "attempt " + std::to_string(k) + " on '" + tag + "' took " +
+            std::to_string(delay_ms) + "ms (budget " +
+            std::to_string(policy_.attempt_timeout_ms) + "ms)");
+      }
+    }
+    uint64_t got_seq = 0;
+    Result<Matrix> decoded = DecodeMatrixFrame(delivered, &got_seq);
+    if (!decoded.ok()) {
+      CorruptCounter()->Increment();
+      return Status::Unavailable("integrity check failed on '" + tag +
+                                 "': " + decoded.status().message());
+    }
+    if (got_seq != seq) {
+      return Status::Unavailable("stale frame on '" + tag + "' (seq " +
+                                 std::to_string(got_seq) + " != " +
+                                 std::to_string(seq) + ")");
+    }
+    received = std::move(decoded).Value();
+    return Status::OK();
+  };
+  auto on_retry = [&](int /*next_attempt*/, const Status& /*last*/) {
+    ++retries_;
+    channel_->inner()->RecordRetry(static_cast<int64_t>(frame.size()));
+  };
+  Status s = RunWithRetry(policy_, clock_, attempt, on_retry);
+  if (s.ok()) return received;
+  if (s.code() == StatusCode::kFailedPrecondition) {
+    return Status::Unavailable(s.message());
+  }
+  return Status::Unavailable("transfer '" + tag + "' from " + from + " to " +
+                             to + " failed after " +
+                             std::to_string(policy_.max_attempts) +
+                             " attempts: " + s.ToString());
+}
+
+}  // namespace silofuse

@@ -30,6 +30,9 @@ int ThreadShard();
 
 /// Monotonically increasing event count (tasks executed, bytes sent, ...).
 /// Add() is wait-free: one relaxed fetch_add on the caller's shard.
+/// Negative deltas are permitted for reconciliation (Channel::Reset walks
+/// back a resetting channel's contribution so the registry stays equal to
+/// the sum of live channel state); ordinary instrumentation must only add.
 class Counter {
  public:
   Counter() = default;

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -32,6 +34,13 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::FailedPrecondition("x").code(),
             StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_NE(Status::Unavailable("x").ToString().find("Unavailable"),
+            std::string::npos);
+  EXPECT_NE(Status::DeadlineExceeded("x").ToString().find("Deadline"),
+            std::string::npos);
 }
 
 TEST(StatusTest, ReturnNotOkMacroPropagates) {
@@ -179,6 +188,83 @@ TEST(LoggingTest, LevelRoundTrip) {
   SetLogLevel(LogLevel::kError);
   EXPECT_EQ(GetLogLevel(), LogLevel::kError);
   SetLogLevel(prev);
+}
+
+TEST(ClockTest, VirtualClockAdvancesInstantlyAndMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.NowNs(), 0);
+  clock.SleepFor(5'000'000);  // 5ms, but no wall time passes
+  EXPECT_EQ(clock.NowNs(), 5'000'000);
+  const int64_t mark = clock.NowNs();
+  clock.SleepFor(1);
+  EXPECT_EQ(clock.ElapsedNs(mark), 1);
+}
+
+TEST(ClockTest, SystemClockIsMonotonic) {
+  SystemClock* clock = SystemClock::Default();
+  const int64_t a = clock->NowNs();
+  const int64_t b = clock->NowNs();
+  EXPECT_GE(b, a);
+}
+
+TEST(RetryTest, BackoffIsExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ms = 55;
+  EXPECT_EQ(BackoffDelayMs(policy, 0), 10);
+  EXPECT_EQ(BackoffDelayMs(policy, 1), 20);
+  EXPECT_EQ(BackoffDelayMs(policy, 2), 40);
+  EXPECT_EQ(BackoffDelayMs(policy, 3), 55);  // capped
+  EXPECT_EQ(BackoffDelayMs(policy, 9), 55);
+}
+
+TEST(RetryTest, RunWithRetrySucceedsAfterTransientFailures) {
+  VirtualClock clock;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 10;
+  int attempts = 0;
+  int retry_callbacks = 0;
+  Status s = RunWithRetry(
+      policy, &clock,
+      [&](int attempt) {
+        ++attempts;
+        EXPECT_EQ(attempt, attempts);
+        return attempts < 3 ? Status::Unavailable("flaky") : Status::OK();
+      },
+      [&](int, const Status&) { ++retry_callbacks; });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(retry_callbacks, 2);
+  EXPECT_EQ(clock.ElapsedNs(), (10 + 20) * 1'000'000);  // two backoffs
+}
+
+TEST(RetryTest, RunWithRetryStopsAtMaxAttempts) {
+  VirtualClock clock;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int attempts = 0;
+  Status s = RunWithRetry(policy, &clock, [&](int) {
+    ++attempts;
+    return Status::Unavailable("always down");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(RetryTest, PermanentErrorsAreNotRetried) {
+  VirtualClock clock;
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  int attempts = 0;
+  Status s = RunWithRetry(policy, &clock, [&](int) {
+    ++attempts;
+    return Status::FailedPrecondition("never going to work");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(clock.ElapsedNs(), 0);  // no backoff for permanent failures
 }
 
 }  // namespace

@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "core/silofuse.h"
+#include "data/generators/paper_datasets.h"
 #include "distributed/channel.h"
 #include "distributed/client.h"
 #include "distributed/coordinator.h"
+#include "distributed/fault.h"
 #include "distributed/partition.h"
+#include "obs/metrics.h"
 
 namespace silofuse {
 namespace {
@@ -39,6 +45,121 @@ TEST(ChannelTest, ResetClearsEverything) {
   EXPECT_EQ(channel.total_bytes(), 0);
   EXPECT_EQ(channel.message_count(), 0);
   EXPECT_EQ(channel.rounds(), 0);
+}
+
+// Regression: Reset() used to zero only the channel's local totals while the
+// global obs counters kept the pre-reset traffic, so channel totals and
+// "channel.*" metrics drifted apart after the first refit. Reset must walk
+// back exactly this channel's contribution — including reliability subtotals
+// and per-tag bytes — and leave traffic metered by other channels alone.
+TEST(ChannelTest, ResetWalksBackItsOwnObsCounters) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  Channel other;  // concurrent traffic that Reset() must not disturb
+  other.Send("x", "y", 64, "latents");
+
+  const int64_t bytes_before = registry.GetCounter("channel.bytes")->Value();
+  const int64_t tag_before =
+      registry.GetCounter("channel.bytes.latents")->Value();
+  const int64_t messages_before =
+      registry.GetCounter("channel.messages")->Value();
+  const int64_t rounds_before = registry.GetCounter("channel.rounds")->Value();
+  const int64_t retries_before =
+      registry.GetCounter("channel.retries")->Value();
+  const int64_t redelivered_before =
+      registry.GetCounter("channel.redelivered_bytes")->Value();
+
+  Channel channel;
+  channel.BeginRound();
+  channel.Send("a", "b", 10, "latents");
+  channel.Send("a", "b", 7, "misc");
+  channel.RecordRetry(10);
+  channel.Reset();
+
+  EXPECT_EQ(registry.GetCounter("channel.bytes")->Value(), bytes_before);
+  EXPECT_EQ(registry.GetCounter("channel.bytes.latents")->Value(), tag_before);
+  EXPECT_EQ(registry.GetCounter("channel.messages")->Value(), messages_before);
+  EXPECT_EQ(registry.GetCounter("channel.rounds")->Value(), rounds_before);
+  EXPECT_EQ(registry.GetCounter("channel.retries")->Value(), retries_before);
+  EXPECT_EQ(registry.GetCounter("channel.redelivered_bytes")->Value(),
+            redelivered_before);
+  // The other channel's traffic survives the reset.
+  EXPECT_EQ(other.total_bytes(), 64);
+}
+
+TEST(ChannelTest, ResetClearsReliabilitySubtotals) {
+  Channel channel;
+  channel.BeginRound();
+  channel.Send("a", "b", 10, "x");
+  channel.RecordRetry(10);
+  channel.RecordRedelivered(10);
+  EXPECT_EQ(channel.retries(), 1);
+  EXPECT_EQ(channel.redelivered_bytes(), 20);
+  channel.Reset();
+  EXPECT_EQ(channel.retries(), 0);
+  EXPECT_EQ(channel.redelivered_bytes(), 0);
+}
+
+// K-of-M degraded mode: when a silo dies before the latent upload, the
+// surviving clients' schema/partition bookkeeping must stay consistent —
+// the compacted partition is a permutation of the surviving columns in their
+// original relative order, and the reassembled table's schema is exactly the
+// surviving clients' schemas stitched back together.
+TEST(DegradedModeTest, SchemaAndPartitionStayConsistentAfterSiloDrop) {
+  Table data = GeneratePaperDataset("loan", 150, /*seed=*/31).Value();
+  FaultPlan plan(/*seed=*/41);
+  plan.DropSiloAtRound("client_1", 1);
+  SiloFuseOptions options;
+  options.base.autoencoder.hidden_dim = 24;
+  options.base.autoencoder_steps = 30;
+  options.base.diffusion_train_steps = 50;
+  options.base.batch_size = 32;
+  options.base.diffusion.hidden_dim = 32;
+  options.base.diffusion.num_layers = 3;
+  options.partition.num_clients = 3;
+  options.fault.plan = &plan;
+  options.min_clients = 2;
+
+  // Capture the original 3-way split before fitting mutates bookkeeping.
+  const auto full_partition =
+      PartitionColumns(data.num_columns(), options.partition).Value();
+
+  SiloFuse model(options);
+  Rng rng(7);
+  ASSERT_TRUE(model.Fit(data, &rng).ok());
+  ASSERT_EQ(model.num_clients(), 2);
+  ASSERT_EQ(model.degraded_silos(), std::vector<int>{1});
+
+  // Surviving original columns, in original order: parts 0 and 2.
+  std::vector<int> surviving_cols = full_partition[0];
+  surviving_cols.insert(surviving_cols.end(), full_partition[2].begin(),
+                        full_partition[2].end());
+  std::sort(surviving_cols.begin(), surviving_cols.end());
+
+  // The compacted partition must be a permutation of 0..K-1 (so reassembly
+  // works) that preserves each part's internal order.
+  const auto& compacted = model.partition();
+  ASSERT_EQ(compacted.size(), 2u);
+  std::vector<int> flat;
+  for (const auto& part : compacted) {
+    EXPECT_TRUE(std::is_sorted(part.begin(), part.end()));
+    flat.insert(flat.end(), part.begin(), part.end());
+  }
+  std::sort(flat.begin(), flat.end());
+  ASSERT_EQ(flat.size(), surviving_cols.size());
+  for (size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_EQ(flat[i], static_cast<int>(i));
+  }
+
+  // Synthesized schema == surviving source columns, original relative order.
+  Rng synth_rng(9);
+  auto synth = model.Synthesize(20, &synth_rng);
+  ASSERT_TRUE(synth.ok()) << synth.status().ToString();
+  const Schema& got = synth.Value().schema();
+  ASSERT_EQ(got.num_columns(), static_cast<int>(surviving_cols.size()));
+  for (size_t i = 0; i < surviving_cols.size(); ++i) {
+    EXPECT_EQ(got.column(static_cast<int>(i)).name,
+              data.schema().column(surviving_cols[i]).name);
+  }
 }
 
 TEST(ChannelTest, SummaryMentionsTags) {
