@@ -58,6 +58,9 @@ bool BytesEqual(const Matrix& a, const Matrix& b) {
 struct PoolStats {
   int64_t tasks = 0;
   double mean_task_us = 0.0;
+  double p50_task_us = 0.0;
+  double p95_task_us = 0.0;
+  double p99_task_us = 0.0;
 };
 
 PoolStats ReadPoolStats() {
@@ -70,6 +73,9 @@ PoolStats ReadPoolStats() {
   if (auto it = snap.histograms.find("runtime.pool.task_us");
       it != snap.histograms.end() && it->second.count > 0) {
     stats.mean_task_us = it->second.sum / static_cast<double>(it->second.count);
+    stats.p50_task_us = it->second.Quantile(0.50);
+    stats.p95_task_us = it->second.Quantile(0.95);
+    stats.p99_task_us = it->second.Quantile(0.99);
   }
   return stats;
 }
@@ -84,6 +90,9 @@ std::string Json(const std::vector<int>& threads,
   out << "  \"sample_rows\": " << sample_rows << ",\n";
   out << "  \"pool_tasks\": " << pool.tasks << ",\n";
   out << "  \"pool_task_mean_us\": " << pool.mean_task_us << ",\n";
+  out << "  \"pool_task_p50_us\": " << pool.p50_task_us << ",\n";
+  out << "  \"pool_task_p95_us\": " << pool.p95_task_us << ",\n";
+  out << "  \"pool_task_p99_us\": " << pool.p99_task_us << ",\n";
   out << "  \"results_identical_across_threads\": "
       << (identical ? "true" : "false") << ",\n";
   out << "  \"threads\": [";

@@ -8,6 +8,7 @@
 #include "common/archive.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace silofuse {
 
@@ -57,8 +58,19 @@ Status SiloFuse::FitPartitioned(std::vector<Table> parts,
     }
   }
   channel_.Reset();
+  channel_.SetClock(options_.fault.clock);
   partition_ = std::move(partition);
   clients_.clear();
+
+  // One Fit = one trace run: everything recorded below (and during the
+  // later synthesis of this deployment) carries this run id, across the
+  // runtime pool and across the wire.
+  trace_run_id_ = obs::NextTraceRunId();
+  obs::TraceContext run_ctx;
+  run_ctx.run_id = trace_run_id_;
+  obs::ScopedTraceContext run_scope(run_ctx);
+  obs::ContextSpan fit_span("silofuse.fit");
+  const bool tracing = obs::TraceEnabled();
 
   const int num_clients = static_cast<int>(parts.size());
   AutoencoderConfig client_config = options_.base.autoencoder;
@@ -71,6 +83,12 @@ Status SiloFuse::FitPartitioned(std::vector<Table> parts,
     SF_ASSIGN_OR_RETURN(auto client,
                         SiloClient::Create(i, std::move(parts[i]),
                                            client_config, &client_rng));
+    obs::TraceContext client_ctx = run_ctx;
+    client_ctx.silo_id = i;
+    obs::ScopedTraceContext client_scope(client_ctx);
+    obs::ContextSpan train_span(
+        "client.train_autoencoder",
+        tracing ? obs::InternTraceString(client->party_name()) : nullptr);
     const double loss = client->TrainAutoencoder(
         options_.base.autoencoder_steps, options_.base.batch_size, &client_rng);
     SF_LOG(Debug) << "SiloFuse client " << i << " AE loss " << loss;
@@ -84,6 +102,9 @@ Status SiloFuse::FitPartitioned(std::vector<Table> parts,
   degraded_silos_.clear();
   FaultyChannel wire(&channel_, options_.fault.plan);
   ReliableTransfer transfer(&wire, options_.fault.retry, options_.fault.clock);
+  obs::TraceContext round_ctx = run_ctx;
+  round_ctx.round = 1;
+  obs::ScopedTraceContext round_scope(round_ctx);
   wire.BeginRound();
   std::vector<Matrix> latents;
   std::vector<std::unique_ptr<SiloClient>> survivors;
@@ -91,6 +112,9 @@ Status SiloFuse::FitPartitioned(std::vector<Table> parts,
   latents.reserve(clients_.size());
   for (size_t i = 0; i < clients_.size(); ++i) {
     SiloClient* client = clients_[i].get();
+    obs::TraceContext silo_ctx = round_ctx;
+    silo_ctx.silo_id = static_cast<int32_t>(i);
+    obs::ScopedTraceContext silo_scope(silo_ctx);
     if (!options_.fault.active()) {
       Matrix z_i = client->ComputeLatents();
       channel_.SendMatrix(client->party_name(), "coordinator", z_i,
@@ -137,9 +161,14 @@ Status SiloFuse::FitPartitioned(std::vector<Table> parts,
   // --- Lines 11-15: coordinator trains the diffusion backbone locally ---
   coordinator_ = std::make_unique<Coordinator>(options_.base.diffusion);
   Rng coord_rng = rng->Fork();
-  SF_RETURN_NOT_OK(coordinator_->TrainOnLatents(
-      z, options_.base.diffusion_train_steps, options_.base.batch_size,
-      &coord_rng));
+  {
+    obs::ContextSpan coord_span(
+        "coordinator.train_ddpm",
+        tracing ? obs::InternTraceString("coordinator") : nullptr, run_ctx);
+    SF_RETURN_NOT_OK(coordinator_->TrainOnLatents(
+        z, options_.base.diffusion_train_steps, options_.base.batch_size,
+        &coord_rng));
+  }
   fitted_ = true;
   return Status::OK();
 }
@@ -154,19 +183,40 @@ Result<std::vector<Table>> SiloFuse::SynthesizePartitioned(int num_rows,
                                                            Rng* rng) {
   if (!fitted_) return Status::FailedPrecondition("Fit SiloFuse first");
   if (num_rows <= 0) return Status::InvalidArgument("num_rows must be > 0");
+  // Checkpoint-restored models never ran Fit in this process; give them a
+  // fresh run id so their synthesis trace is still attributable.
+  if (trace_run_id_ == 0) trace_run_id_ = obs::NextTraceRunId();
+  channel_.SetClock(options_.fault.clock);
+  obs::TraceContext run_ctx;
+  run_ctx.run_id = trace_run_id_;
+  obs::ScopedTraceContext run_scope(run_ctx);
+  obs::ContextSpan synth_span("silofuse.synthesize");
+  const bool tracing = obs::TraceEnabled();
   // Algorithm 2: coordinator samples noise and denoises...
-  SF_ASSIGN_OR_RETURN(
-      Matrix z, coordinator_->SampleLatents(num_rows,
-                                            options_.base.inference_steps,
-                                            options_.base.sampling_eta, rng));
+  Matrix z;
+  {
+    obs::ContextSpan sample_span(
+        "coordinator.sample_latents",
+        tracing ? obs::InternTraceString("coordinator") : nullptr, run_ctx);
+    SF_ASSIGN_OR_RETURN(
+        z, coordinator_->SampleLatents(num_rows, options_.base.inference_steps,
+                                       options_.base.sampling_eta, rng));
+  }
   // ... partitions Z~ = Z~_1 || ... || Z~_M and ships each client its slice.
   FaultyChannel wire(&channel_, options_.fault.plan);
   ReliableTransfer transfer(&wire, options_.fault.retry, options_.fault.clock);
+  obs::TraceContext round_ctx = run_ctx;
+  round_ctx.round = 2;  // round 1 was the training-latent upload
+  obs::ScopedTraceContext round_scope(round_ctx);
   wire.BeginRound();
   std::vector<Table> outputs;
   outputs.reserve(clients_.size());
   int offset = 0;
+  int silo_index = 0;
   for (auto& client : clients_) {
+    obs::TraceContext silo_ctx = round_ctx;
+    silo_ctx.silo_id = silo_index++;
+    obs::ScopedTraceContext silo_scope(silo_ctx);
     Matrix z_i = z.SliceCols(offset, client->latent_dim());
     offset += client->latent_dim();
     if (!options_.fault.active()) {

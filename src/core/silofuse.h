@@ -95,6 +95,10 @@ class SiloFuse : public Synthesizer {
   /// Total latent width s = sum_i s_i.
   int total_latent_dim() const;
 
+  /// Trace run id allocated by the last Fit (0 before any fit). Synthesis
+  /// reuses it, so one trained deployment is one causally-linked trace.
+  uint32_t trace_run_id() const { return trace_run_id_; }
+
   /// Persists the trained deployment (partition, client autoencoders,
   /// coordinator backbone, sampling settings) to `path`. In a real
   /// deployment each party would checkpoint only its own component; the
@@ -113,6 +117,7 @@ class SiloFuse : public Synthesizer {
   std::unique_ptr<Coordinator> coordinator_;
   Channel channel_;
   std::vector<int> degraded_silos_;
+  uint32_t trace_run_id_ = 0;
   bool fitted_ = false;
 };
 

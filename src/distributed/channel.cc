@@ -3,7 +3,9 @@
 #include <chrono>
 #include <sstream>
 
+#include "common/clock.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace silofuse {
 
@@ -29,10 +31,40 @@ int64_t MatrixWireBytes(const Matrix& m) {
          static_cast<int64_t>(m.size()) * static_cast<int64_t>(sizeof(float));
 }
 
+void Channel::SetClock(Clock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock;
+}
+
+int64_t Channel::RoundNowNsLocked() const {
+  return clock_ != nullptr ? clock_->NowNs() : MonotonicNs();
+}
+
 int64_t Channel::SendMatrix(const std::string& from, const std::string& to,
                             const Matrix& payload, const std::string& tag) {
   const int64_t bytes = MatrixWireBytes(payload);
-  Send(from, to, bytes, tag);
+  if (!obs::TraceEnabled()) {
+    Send(from, to, bytes, tag);
+    return bytes;
+  }
+  // The perfect wire delivers synchronously, so both halves of the transfer
+  // are known here: a send span on the sender's track emitting the flow
+  // start, and a receive span on the receiver's track closing it. The
+  // viewer draws the arrow between the two party timelines.
+  obs::TraceContext ctx = obs::CurrentTraceContext();
+  ctx.tag = obs::InternTraceString(tag);
+  const char* from_party = obs::InternTraceString(from);
+  const char* to_party = obs::InternTraceString(to);
+  const uint64_t flow_id = obs::NextFlowId();
+  {
+    obs::ContextSpan send_span("channel.send", from_party, ctx);
+    obs::RecordTransferFlow("transfer", flow_id, /*start=*/true, from_party);
+    Send(from, to, bytes, tag);
+  }
+  {
+    obs::ContextSpan recv_span("channel.recv", to_party, ctx);
+    obs::RecordTransferFlow("transfer", flow_id, /*start=*/false, to_party);
+  }
   return bytes;
 }
 
@@ -51,10 +83,17 @@ void Channel::Send(const std::string& from, const std::string& to,
       obs::MetricsRegistry::Global().GetCounter("channel.bytes");
   static obs::Counter* message_counter =
       obs::MetricsRegistry::Global().GetCounter("channel.messages");
+  uint64_t packed_ctx = 0;
+  if (const obs::TraceContext& ambient = obs::CurrentTraceContext();
+      ambient.set()) {
+    obs::TraceContext ctx = ambient;
+    ctx.tag = obs::InternTraceString(tag);
+    packed_ctx = ctx.Pack();
+  }
   obs::Counter* tag_counter;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    log_.push_back({from, to, tag, bytes});
+    log_.push_back({from, to, tag, bytes, packed_ctx});
     bytes_by_tag_[tag] += bytes;
     total_bytes_ += bytes;
     if (!round_log_.empty()) {
@@ -71,9 +110,9 @@ void Channel::Send(const std::string& from, const std::string& to,
 void Channel::BeginRound() {
   static obs::Counter* round_counter =
       obs::MetricsRegistry::Global().GetCounter("channel.rounds");
-  const int64_t now_ns = MonotonicNs();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    const int64_t now_ns = RoundNowNsLocked();
     if (!round_log_.empty()) {
       round_log_.back().wall_ms =
           static_cast<double>(now_ns - round_start_ns_) / 1e6;
@@ -149,12 +188,12 @@ std::vector<ChannelMessage> Channel::MessageLog() const {
 }
 
 std::vector<ChannelRound> Channel::RoundLog() const {
-  const int64_t now_ns = MonotonicNs();
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<ChannelRound> out = round_log_;
   // The last round is still open; report its wall time so far.
   if (!out.empty() && out.back().wall_ms == 0.0) {
-    out.back().wall_ms = static_cast<double>(now_ns - round_start_ns_) / 1e6;
+    out.back().wall_ms =
+        static_cast<double>(RoundNowNsLocked() - round_start_ns_) / 1e6;
   }
   return out;
 }

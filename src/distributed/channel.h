@@ -11,6 +11,8 @@
 
 namespace silofuse {
 
+class Clock;
+
 namespace obs {
 class Counter;
 }  // namespace obs
@@ -21,6 +23,10 @@ struct ChannelMessage {
   std::string to;
   std::string tag;
   int64_t bytes = 0;
+  /// Ambient obs::TraceContext at send time, TraceContext::Pack form
+  /// (0 = no context was installed). Lets post-hoc analysis attribute
+  /// every wire message to its run/round/silo without a trace export.
+  uint64_t trace_ctx = 0;
 };
 
 /// Byte/message subtotal of one communication round, so the Fig. 10
@@ -55,6 +61,11 @@ int64_t MatrixWireBytes(const Matrix& m);
 class Channel {
  public:
   Channel() = default;
+
+  /// Routes round wall-time measurement through `clock` (nullptr restores
+  /// the real monotonic clock). With a VirtualClock, RoundLog wall_ms
+  /// becomes fully deterministic in tests.
+  void SetClock(Clock* clock);
 
   /// Records a matrix transfer and returns its byte size.
   int64_t SendMatrix(const std::string& from, const std::string& to,
@@ -112,7 +123,12 @@ class Channel {
   /// re-lock the registry. Requires mu_.
   obs::Counter* TagCounterLocked(const std::string& tag);
 
+  /// Round-timing time source; never nullptr after construction. Requires
+  /// mu_ for writes; reads happen under mu_ too (cheap, not a hot path).
+  int64_t RoundNowNsLocked() const;
+
   mutable std::mutex mu_;
+  Clock* clock_ = nullptr;  // nullptr = real monotonic clock
   std::vector<ChannelMessage> log_;
   std::map<std::string, int64_t> bytes_by_tag_;
   std::map<std::string, obs::Counter*> tag_counters_;

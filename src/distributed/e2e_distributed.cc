@@ -7,6 +7,7 @@
 #include "nn/losses.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace silofuse {
 
@@ -15,6 +16,9 @@ Status E2EDistrSynthesizer::Fit(const Table& data, Rng* rng) {
     return Status::InvalidArgument("E2EDistr needs at least 2 rows");
   }
   channel_.Reset();
+  channel_.SetClock(fault_.clock);
+  trace_run_id_ = obs::NextTraceRunId();
+  trace_round_ = 0;
   if (fault_.active()) {
     wire_ = std::make_unique<FaultyChannel>(&channel_, fault_.plan);
     transfer_ =
@@ -63,7 +67,10 @@ Status E2EDistrSynthesizer::Fit(const Table& data, Rng* rng) {
       std::make_unique<Adam>(std::move(params), config_.autoencoder.lr);
 
   const int steps = config_.autoencoder_steps + config_.diffusion_train_steps;
-  SF_TRACE_SPAN("e2e_distr.train");
+  obs::TraceContext run_ctx;
+  run_ctx.run_id = trace_run_id_;
+  obs::ScopedTraceContext run_scope(run_ctx);
+  obs::ContextSpan train_span("e2e_distr.train");
   obs::TrainLoopTelemetry telemetry(
       "e2e_distr.train", std::min(config_.batch_size, data.num_rows()));
   double recon = 0.0, diff = 0.0;
@@ -86,7 +93,15 @@ Status E2EDistrSynthesizer::Fit(const Table& data, Rng* rng) {
 Result<std::pair<double, double>> E2EDistrSynthesizer::TrainIteration(
     const std::vector<int>& batch_rows, Rng* rng) {
   SF_CHECK(backbone_ != nullptr);
-  SF_TRACE_SPAN("e2e_distr.round");
+  // Each training iteration is one communication round; give it a 1-based
+  // round number in the ambient context so its transfers (and the spans of
+  // pool tasks it fans out) group per round in the trace and the profile's
+  // critical-path report.
+  obs::TraceContext round_ctx = obs::CurrentTraceContext();
+  round_ctx.run_id = trace_run_id_;
+  round_ctx.round = ++trace_round_;
+  obs::ScopedTraceContext round_scope(round_ctx);
+  obs::ContextSpan round_span("e2e_distr.round");
   const int batch = static_cast<int>(batch_rows.size());
   if (wire_ != nullptr) {
     wire_->BeginRound();
@@ -191,6 +206,11 @@ Result<std::pair<double, double>> E2EDistrSynthesizer::TrainIteration(
 Result<Table> E2EDistrSynthesizer::Synthesize(int num_rows, Rng* rng) {
   if (!fitted_) return Status::FailedPrecondition("Fit E2EDistr first");
   if (num_rows <= 0) return Status::InvalidArgument("num_rows must be > 0");
+  obs::TraceContext round_ctx;
+  round_ctx.run_id = trace_run_id_;
+  round_ctx.round = ++trace_round_;
+  obs::ScopedTraceContext round_scope(round_ctx);
+  obs::ContextSpan synth_span("e2e_distr.synthesize");
   Matrix z = backbone_->Sample(num_rows, config_.inference_steps, rng,
                                config_.sampling_eta);
   if (wire_ != nullptr) {

@@ -1,6 +1,7 @@
 #ifndef SILOFUSE_DISTRIBUTED_E2E_DISTRIBUTED_H_
 #define SILOFUSE_DISTRIBUTED_E2E_DISTRIBUTED_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -50,6 +51,9 @@ class E2EDistrSynthesizer : public Synthesizer {
   /// Measured bytes for one training round (available after Fit).
   int64_t bytes_per_training_round() const { return bytes_per_round_; }
 
+  /// Trace run id allocated by the last Fit (0 before any fit).
+  uint32_t trace_run_id() const { return trace_run_id_; }
+
  private:
   LatentDiffusionConfig config_;
   PartitionConfig partition_config_;
@@ -63,6 +67,8 @@ class E2EDistrSynthesizer : public Synthesizer {
   std::unique_ptr<FaultyChannel> wire_;         // set when fault_ is active
   std::unique_ptr<ReliableTransfer> transfer_;  // ditto
   int64_t bytes_per_round_ = 0;
+  uint32_t trace_run_id_ = 0;
+  int32_t trace_round_ = 0;  // 1-based communication round within the run
   bool fitted_ = false;
 };
 

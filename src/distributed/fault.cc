@@ -65,14 +65,15 @@ uint64_t Fnv1a64(const uint8_t* data, size_t n, uint64_t seed) {
   return hash;
 }
 
-std::vector<uint8_t> EncodeMatrixFrame(const Matrix& m, uint64_t seq) {
+std::vector<uint8_t> EncodeMatrixFrame(const Matrix& m, uint64_t seq,
+                                       const obs::TraceContext& ctx) {
   const size_t payload = m.size() * sizeof(float);
   std::vector<uint8_t> frame(kFrameHeaderBytes + payload + kFrameChecksumBytes);
   PutLe<uint32_t>(&frame, 0, kFrameMagic);
   PutLe<uint32_t>(&frame, 4, static_cast<uint32_t>(m.rows()));
   PutLe<uint32_t>(&frame, 8, static_cast<uint32_t>(m.cols()));
-  PutLe<uint64_t>(&frame, 12, seq);
-  PutLe<uint32_t>(&frame, 20, 0u);  // reserved
+  PutLe<uint32_t>(&frame, 12, static_cast<uint32_t>(seq));
+  PutLe<uint64_t>(&frame, 16, ctx.Pack());
   if (payload > 0) {
     std::memcpy(frame.data() + kFrameHeaderBytes, m.data(), payload);
   }
@@ -83,7 +84,8 @@ std::vector<uint8_t> EncodeMatrixFrame(const Matrix& m, uint64_t seq) {
 }
 
 Result<Matrix> DecodeMatrixFrame(const std::vector<uint8_t>& frame,
-                                 uint64_t* seq_out) {
+                                 uint64_t* seq_out,
+                                 obs::TraceContext* ctx_out) {
   if (frame.size() < kFrameHeaderBytes + kFrameChecksumBytes) {
     return Status::IOError("matrix frame shorter than header");
   }
@@ -92,7 +94,7 @@ Result<Matrix> DecodeMatrixFrame(const std::vector<uint8_t>& frame,
   }
   const int64_t rows = GetLe<uint32_t>(frame, 4);
   const int64_t cols = GetLe<uint32_t>(frame, 8);
-  const uint64_t seq = GetLe<uint64_t>(frame, 12);
+  const uint64_t seq = GetLe<uint32_t>(frame, 12);
   const int64_t payload = rows * cols * static_cast<int64_t>(sizeof(float));
   if (rows > (1ll << 31) || cols > (1ll << 31) ||
       static_cast<int64_t>(frame.size()) !=
@@ -111,6 +113,9 @@ Result<Matrix> DecodeMatrixFrame(const std::vector<uint8_t>& frame,
                 static_cast<size_t>(payload));
   }
   if (seq_out != nullptr) *seq_out = seq;
+  if (ctx_out != nullptr) {
+    *ctx_out = obs::TraceContext::Unpack(GetLe<uint64_t>(frame, 16));
+  }
   return m;
 }
 
@@ -273,9 +278,23 @@ Result<Matrix> ReliableTransfer::SendMatrix(const std::string& from,
                                             const Matrix& payload,
                                             const std::string& tag) {
   const uint64_t seq = next_seq_++;
-  const std::vector<uint8_t> frame = EncodeMatrixFrame(payload, seq);
+  // Stamp the sender's ambient trace context (plus the transfer tag) into
+  // the frame header: the receive span below unpacks it from the decoded
+  // bytes, so the exported trace proves the context crossed the wire.
+  obs::TraceContext ctx = obs::CurrentTraceContext();
+  ctx.tag = obs::InternTraceString(tag);
+  const std::vector<uint8_t> frame = EncodeMatrixFrame(payload, seq, ctx);
+  const bool tracing = obs::TraceEnabled();
+  const char* from_party = tracing ? obs::InternTraceString(from) : nullptr;
+  const char* to_party = tracing ? obs::InternTraceString(to) : nullptr;
   Matrix received;
   auto attempt = [&](int k) -> Status {
+    // One flow id per delivery attempt: a dropped attempt leaves its flow
+    // start dangling in the trace (an arrow to nowhere), a delivered one is
+    // closed by the receive span's flow finish.
+    const uint64_t flow_id = tracing ? obs::NextFlowId() : 0;
+    obs::ContextSpan attempt_span("transfer.attempt", from_party, ctx);
+    obs::RecordTransferFlow("transfer", flow_id, /*start=*/true, from_party);
     if (channel_->PartyDown(from) || channel_->PartyDown(to)) {
       // Permanent for this round: RunWithRetry stops immediately on
       // kFailedPrecondition; mapped back to kUnavailable below.
@@ -298,23 +317,41 @@ Result<Matrix> ReliableTransfer::SendMatrix(const std::string& from,
       }
     }
     uint64_t got_seq = 0;
-    Result<Matrix> decoded = DecodeMatrixFrame(delivered, &got_seq);
+    obs::TraceContext wire_ctx;
+    Result<Matrix> decoded = DecodeMatrixFrame(delivered, &got_seq, &wire_ctx);
     if (!decoded.ok()) {
       CorruptCounter()->Increment();
       return Status::Unavailable("integrity check failed on '" + tag +
                                  "': " + decoded.status().message());
     }
-    if (got_seq != seq) {
+    if (got_seq != (seq & 0xFFFFFFFFull)) {
       return Status::Unavailable("stale frame on '" + tag + "' (seq " +
                                  std::to_string(got_seq) + " != " +
                                  std::to_string(seq) + ")");
     }
+    {
+      // Receive span carries the context decoded FROM THE FRAME, not the
+      // sender's local copy — end-to-end propagation, not bookkeeping.
+      obs::ContextSpan recv_span("transfer.recv", to_party, wire_ctx);
+      obs::RecordTransferFlow("transfer", flow_id, /*start=*/false, to_party);
+    }
     received = std::move(decoded).Value();
     return Status::OK();
   };
-  auto on_retry = [&](int /*next_attempt*/, const Status& /*last*/) {
+  auto on_retry = [&](int next_attempt, const Status& /*last*/) {
     ++retries_;
     channel_->inner()->RecordRetry(static_cast<int64_t>(frame.size()));
+    if (tracing) {
+      // The backoff sleep happens inside RunWithRetry right after this
+      // hook; the schedule is deterministic, so record the span with its
+      // scheduled duration (a lower bound under a real clock).
+      const int64_t start_ns = obs::internal_trace::NowNs();
+      const int64_t backoff_ns =
+          BackoffDelayMs(policy_, next_attempt - 2) * 1'000'000;
+      obs::internal_trace::RecordSpanEvent("transfer.backoff", start_ns,
+                                           start_ns + backoff_ns, ctx.Pack(),
+                                           from_party);
+    }
   };
   Status s = RunWithRetry(policy_, clock_, attempt, on_retry);
   if (s.ok()) return received;

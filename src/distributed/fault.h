@@ -12,17 +12,19 @@
 #include "common/retry.h"
 #include "common/rng.h"
 #include "distributed/channel.h"
+#include "obs/trace_context.h"
 #include "tensor/matrix.h"
 
 namespace silofuse {
 
 /// ---- Checksummed wire framing ---------------------------------------------
 ///
-/// A matrix frame is: 24-byte header (magic, rows, cols, sequence number,
-/// reserved word) + row-major float32 payload + 8-byte FNV-1a checksum over
-/// everything before it. The total is exactly MatrixWireBytes(m), so the
-/// byte-metering numbers of the Fig. 10 experiments are unchanged by the
-/// framing.
+/// A matrix frame is: 24-byte header (magic, rows, cols, 32-bit sequence
+/// number, 64-bit packed obs::TraceContext) + row-major float32 payload +
+/// 8-byte FNV-1a checksum over everything before it. The context rides in
+/// what used to be the sequence number's high half plus the reserved word,
+/// so the total stays exactly MatrixWireBytes(m) and the byte-metering
+/// numbers of the Fig. 10 experiments are unchanged by context propagation.
 
 /// 64-bit FNV-1a over `n` bytes, continuing from `seed` (pass kFnvOffset to
 /// start a fresh hash). Single-byte flips always change the digest: the
@@ -30,14 +32,18 @@ namespace silofuse {
 inline constexpr uint64_t kFnvOffset = 14695981039346656037ull;
 uint64_t Fnv1a64(const uint8_t* data, size_t n, uint64_t seed = kFnvOffset);
 
-/// Serializes `m` into a checksummed frame carrying `seq`.
-std::vector<uint8_t> EncodeMatrixFrame(const Matrix& m, uint64_t seq);
+/// Serializes `m` into a checksummed frame carrying `seq` (stored as its low
+/// 32 bits) and the sender's trace context.
+std::vector<uint8_t> EncodeMatrixFrame(const Matrix& m, uint64_t seq,
+                                       const obs::TraceContext& ctx = {});
 
 /// Parses and integrity-checks a frame. Returns kIOError (message contains
 /// "checksum" for payload corruption) on any malformed input; `seq_out`,
-/// when given, receives the frame's sequence number.
+/// when given, receives the frame's 32-bit sequence number; `ctx_out` the
+/// trace context the sender stamped into the header.
 Result<Matrix> DecodeMatrixFrame(const std::vector<uint8_t>& frame,
-                                 uint64_t* seq_out = nullptr);
+                                 uint64_t* seq_out = nullptr,
+                                 obs::TraceContext* ctx_out = nullptr);
 
 /// ---- Fault plan ------------------------------------------------------------
 

@@ -1,0 +1,137 @@
+#include "obs/bench_compare.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+namespace silofuse {
+namespace obs {
+
+namespace {
+
+void Flatten(const json::Value& v, const std::string& prefix,
+             std::vector<std::pair<std::string, double>>* out) {
+  switch (v.kind()) {
+    case json::Value::Kind::kNumber:
+      out->emplace_back(prefix, v.AsNumber());
+      break;
+    case json::Value::Kind::kObject:
+      for (const auto& [key, member] : v.AsObject()) {
+        Flatten(member, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case json::Value::Kind::kArray: {
+      const auto& array = v.AsArray();
+      for (size_t i = 0; i < array.size(); ++i) {
+        Flatten(array[i], prefix + "[" + std::to_string(i) + "]", out);
+      }
+      break;
+    }
+    default:
+      break;  // bool/string/null leaves are not comparable metrics
+  }
+}
+
+bool TimeLikeKey(const std::string& key) {
+  // The suffix may be followed by an array index: "gemm_ms[3]".
+  const size_t bracket = key.rfind('[');
+  const std::string stem = bracket == std::string::npos
+                               ? key
+                               : key.substr(0, bracket);
+  auto ends_with = [&stem](const char* suffix) {
+    const size_t n = std::char_traits<char>::length(suffix);
+    return stem.size() >= n && stem.compare(stem.size() - n, n, suffix) == 0;
+  };
+  return ends_with("_ms") || ends_with("_us") || ends_with("_ns");
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> FlattenNumericLeaves(
+    const json::Value& doc) {
+  std::vector<std::pair<std::string, double>> out;
+  Flatten(doc, "", &out);
+  return out;
+}
+
+CompareReport CompareBenchJson(const json::Value& baseline,
+                               const std::vector<json::Value>& candidates,
+                               const CompareOptions& options) {
+  CompareReport report;
+  std::map<std::string, double> base_values;
+  for (const auto& [key, value] : FlattenNumericLeaves(baseline)) {
+    base_values[key] = value;
+  }
+  // Min-of-N over the candidate runs: the fastest repetition carries the
+  // least scheduler noise.
+  std::map<std::string, double> current_values;
+  for (const json::Value& candidate : candidates) {
+    for (const auto& [key, value] : FlattenNumericLeaves(candidate)) {
+      auto it = current_values.find(key);
+      if (it == current_values.end() || value < it->second) {
+        current_values[key] = value;
+      }
+    }
+  }
+  for (const auto& [key, base] : base_values) {
+    const bool gated = !options.gate_time_keys_only || TimeLikeKey(key);
+    auto it = current_values.find(key);
+    if (it == current_values.end()) {
+      if (gated) report.missing_in_current.push_back(key);
+      continue;
+    }
+    CompareEntry entry;
+    entry.key = key;
+    entry.baseline = base;
+    entry.current = it->second;
+    entry.ratio = base == 0.0 ? 0.0 : entry.current / base;
+    entry.gated = gated;
+    if (gated) {
+      const double rel_limit = base * (1.0 + options.rel_slack);
+      entry.regressed = entry.current > rel_limit &&
+                        entry.current - base > options.abs_slack_ms;
+      entry.hard = entry.regressed && base > 0.0 &&
+                   entry.ratio > options.hard_factor;
+    }
+    if (entry.regressed) ++report.regressions;
+    if (entry.hard) ++report.hard_regressions;
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+int CompareReport::exit_code() const {
+  if (hard_regressions > 0) return 2;
+  if (regressions > 0) return 1;
+  return 0;
+}
+
+std::string CompareReport::ToMarkdown() const {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(4);
+  out << "# Benchmark comparison\n\n";
+  if (regressions == 0) {
+    out << "No regressions.\n\n";
+  } else {
+    out << regressions << " regression(s), " << hard_regressions
+        << " hard.\n\n";
+  }
+  out << "| metric | baseline | current | ratio | verdict |\n"
+      << "|--------|---------:|--------:|------:|---------|\n";
+  for (const CompareEntry& e : entries) {
+    const char* verdict = !e.gated         ? "info"
+                          : e.hard         ? "HARD REGRESSION"
+                          : e.regressed    ? "regression"
+                                           : "ok";
+    out << "| " << e.key << " | " << e.baseline << " | " << e.current << " | "
+        << e.ratio << " | " << verdict << " |\n";
+  }
+  for (const std::string& key : missing_in_current) {
+    out << "| " << key << " | (baseline only) | - | - | missing |\n";
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace silofuse

@@ -1,0 +1,66 @@
+#ifndef SILOFUSE_OBS_BENCH_COMPARE_H_
+#define SILOFUSE_OBS_BENCH_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace silofuse {
+namespace obs {
+
+/// Noise-aware thresholds of the perf-regression gate. A metric regresses
+/// only when it is BOTH relatively slower than baseline * (1 + rel_slack)
+/// AND absolutely slower by more than abs_slack — small timings jitter by
+/// large ratios, large timings by large absolute deltas; requiring both
+/// keeps the gate quiet on noise. A regression whose current/baseline ratio
+/// exceeds hard_factor is a hard failure.
+struct CompareOptions {
+  double rel_slack = 0.15;
+  double abs_slack_ms = 0.5;
+  double hard_factor = 2.0;
+  /// Only keys with a time-like suffix (_ms, _us, _ns) are gated; counters
+  /// and speedup ratios pass through as informational rows.
+  bool gate_time_keys_only = true;
+};
+
+/// One compared metric. `current` is the min over all candidate files
+/// (min-of-N: the best repetition is the least noisy estimate of the true
+/// cost).
+struct CompareEntry {
+  std::string key;
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;  // current / baseline; 0 when baseline == 0
+  bool gated = false;  // time-like key, subject to thresholds
+  bool regressed = false;
+  bool hard = false;  // regressed and ratio > hard_factor
+};
+
+struct CompareReport {
+  std::vector<CompareEntry> entries;  // sorted by key
+  std::vector<std::string> missing_in_current;  // gated keys w/o new value
+  int regressions = 0;
+  int hard_regressions = 0;
+
+  /// Gate verdict: 0 = pass, 1 = regression(s), 2 = hard regression(s).
+  int exit_code() const;
+  std::string ToMarkdown() const;
+};
+
+/// Flattens a parsed benchmark JSON document into numeric leaves: nested
+/// objects join with '.', array elements append "[i]". Non-numeric leaves
+/// are skipped.
+std::vector<std::pair<std::string, double>> FlattenNumericLeaves(
+    const json::Value& doc);
+
+/// Compares `baseline` against the element-wise minimum of `candidates`
+/// (min-of-N across repeated runs of the same bench).
+CompareReport CompareBenchJson(const json::Value& baseline,
+                               const std::vector<json::Value>& candidates,
+                               const CompareOptions& options = {});
+
+}  // namespace obs
+}  // namespace silofuse
+
+#endif  // SILOFUSE_OBS_BENCH_COMPARE_H_

@@ -251,6 +251,32 @@ void MetricsRegistry::Reset() {
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0 || bucket_counts.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation in [0, count]; walk the cumulative
+  // distribution to the bucket holding it, then interpolate linearly
+  // between the bucket's edges.
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_counts[i]);
+    if (cumulative + in_bucket < rank || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) break;  // overflow bucket: no upper edge
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    const double fraction = (rank - cumulative) / in_bucket;
+    return lower + (upper - lower) * fraction;
+  }
+  // Target rank is in the overflow bucket (or numeric drift walked past
+  // the end): the largest finite bound is the best available estimate.
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 std::string MetricsSnapshot::ToJson() const {
   std::ostringstream out;
   out << "{\n  \"counters\": {";
@@ -284,7 +310,9 @@ std::string MetricsSnapshot::ToJson() const {
         << JsonDouble(h.count == 0
                           ? 0.0
                           : h.sum / static_cast<double>(h.count))
-        << "}";
+        << ", \"p50\": " << JsonDouble(h.Quantile(0.50))
+        << ", \"p95\": " << JsonDouble(h.Quantile(0.95))
+        << ", \"p99\": " << JsonDouble(h.Quantile(0.99)) << "}";
     first = false;
   }
   out << (first ? "" : "\n  ") << "}\n}\n";

@@ -115,6 +115,13 @@ struct HistogramSnapshot {
   std::vector<int64_t> bucket_counts;  // bounds.size() + 1 entries
   int64_t count = 0;
   double sum = 0.0;
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation within the
+  /// bucket containing the target rank. The first bucket interpolates from
+  /// 0, and ranks landing in the overflow bucket return the largest bound
+  /// (the histogram has no upper edge to interpolate toward). Returns 0
+  /// for an empty histogram.
+  double Quantile(double q) const;
 };
 
 /// Point-in-time copy of the whole registry.

@@ -1,0 +1,303 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace silofuse {
+namespace obs {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double Ms(int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+struct RoundAccum {
+  int64_t min_start_ns = 0;
+  int64_t max_end_ns = 0;
+  bool any = false;
+  int64_t transfer_attempts = 0;
+  int64_t retries = 0;
+  // Summed EXCLUSIVE time per (party, span name): using inclusive time here
+  // would always crown the round's container span; exclusive time names the
+  // work actually burning the round's wall time.
+  std::map<std::pair<std::string, std::string>, int64_t> excl_by_phase;
+};
+
+}  // namespace
+
+ProfileReport BuildProfile(const std::vector<TraceEvent>& events) {
+  ProfileReport report;
+
+  // Exclusive time: per thread, walk spans in (start asc, dur desc) order
+  // with an open-span stack; each span's duration is subtracted from its
+  // nearest still-open ancestor. SnapshotTraceEvents already emits this
+  // order globally, so the per-tid subsequences are ordered too.
+  std::vector<int64_t> exclusive(events.size(), 0);
+  std::map<int, std::vector<size_t>> by_tid;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].phase == 'X') {
+      by_tid[events[i].tid].push_back(i);
+    } else {
+      ++report.total_flow_events;
+    }
+  }
+  for (const auto& [tid, indices] : by_tid) {
+    std::vector<size_t> open;
+    for (size_t i : indices) {
+      const TraceEvent& e = events[i];
+      while (!open.empty() && events[open.back()].start_ns +
+                                      events[open.back()].dur_ns <=
+                                  e.start_ns) {
+        open.pop_back();
+      }
+      exclusive[i] = e.dur_ns;
+      if (!open.empty()) exclusive[open.back()] -= e.dur_ns;
+      open.push_back(i);
+    }
+  }
+
+  std::map<std::pair<std::string, std::string>, HotspotRow> hotspots;
+  std::map<int32_t, RoundAccum> rounds;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (e.phase != 'X') continue;
+    ++report.total_spans;
+    const std::string party = e.party == nullptr ? "" : e.party;
+    HotspotRow& row = hotspots[{e.name, party}];
+    if (row.count == 0) {
+      row.name = e.name;
+      row.party = party;
+      row.min_ns = e.dur_ns;
+      row.max_ns = e.dur_ns;
+    }
+    ++row.count;
+    row.inclusive_ns += e.dur_ns;
+    row.exclusive_ns += exclusive[i];
+    row.min_ns = std::min(row.min_ns, e.dur_ns);
+    row.max_ns = std::max(row.max_ns, e.dur_ns);
+
+    if (e.run_id != 0 && e.round > 0) {
+      RoundAccum& accum = rounds[e.round];
+      const int64_t end_ns = e.start_ns + e.dur_ns;
+      if (!accum.any) {
+        accum.min_start_ns = e.start_ns;
+        accum.max_end_ns = end_ns;
+        accum.any = true;
+      } else {
+        accum.min_start_ns = std::min(accum.min_start_ns, e.start_ns);
+        accum.max_end_ns = std::max(accum.max_end_ns, end_ns);
+      }
+      if (e.name == "transfer.attempt" || e.name == "channel.send") {
+        ++accum.transfer_attempts;
+      }
+      if (e.name == "transfer.backoff") ++accum.retries;
+      accum.excl_by_phase[{party, e.name}] += exclusive[i];
+    }
+  }
+
+  report.hotspots.reserve(hotspots.size());
+  for (auto& [key, row] : hotspots) report.hotspots.push_back(std::move(row));
+  std::sort(report.hotspots.begin(), report.hotspots.end(),
+            [](const HotspotRow& a, const HotspotRow& b) {
+              if (a.exclusive_ns != b.exclusive_ns) {
+                return a.exclusive_ns > b.exclusive_ns;
+              }
+              return std::tie(a.name, a.party) < std::tie(b.name, b.party);
+            });
+
+  for (const auto& [round, accum] : rounds) {
+    RoundCritical critical;
+    critical.round = round;
+    critical.wall_ms = Ms(accum.max_end_ns - accum.min_start_ns);
+    critical.transfer_attempts = accum.transfer_attempts;
+    critical.retries = accum.retries;
+    int64_t best = -1;
+    for (const auto& [phase, ns] : accum.excl_by_phase) {
+      if (ns > best) {
+        best = ns;
+        critical.bounding_party = phase.first;
+        critical.bounding_phase = phase.second;
+        critical.bounding_ms = Ms(ns);
+      }
+    }
+    report.rounds.push_back(std::move(critical));
+  }
+  return report;
+}
+
+namespace {
+
+void AppendRoundsMarkdown(std::ostringstream& out,
+                          const std::vector<RoundStat>& rounds) {
+  if (rounds.empty()) return;
+  out << "## Communication rounds\n\n"
+      << "| round | bytes | messages | retries | redelivered bytes | wall ms "
+         "|\n"
+      << "|------:|------:|---------:|--------:|------------------:|--------:"
+         "|\n";
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    const RoundStat& r = rounds[i];
+    out << "| " << (i + 1) << " | " << r.bytes << " | " << r.messages << " | "
+        << r.retries << " | " << r.redelivered_bytes << " | " << std::fixed
+        << std::setprecision(3) << r.wall_ms << " |\n";
+  }
+  out << "\n";
+}
+
+void AppendCriticalMarkdown(std::ostringstream& out,
+                            const ProfileReport& profile) {
+  if (profile.rounds.empty()) return;
+  out << "## Per-round critical path\n\n"
+      << "| round | wall ms | bounding party | bounding phase | phase ms | "
+         "transfer attempts | retries |\n"
+      << "|------:|--------:|----------------|----------------|---------:|"
+         "------------------:|--------:|\n";
+  for (const RoundCritical& r : profile.rounds) {
+    out << "| " << r.round << " | " << std::fixed << std::setprecision(3)
+        << r.wall_ms << " | "
+        << (r.bounding_party.empty() ? "(process)" : r.bounding_party) << " | "
+        << r.bounding_phase << " | " << r.bounding_ms << " | "
+        << r.transfer_attempts << " | " << r.retries << " |\n";
+  }
+  out << "\n";
+}
+
+void AppendHotspotsMarkdown(std::ostringstream& out,
+                            const ProfileReport& profile) {
+  if (profile.hotspots.empty()) return;
+  constexpr size_t kTopN = 20;
+  out << "## Hotspots (by exclusive time)\n\n"
+      << "| span | party | count | inclusive ms | exclusive ms | min ms | "
+         "max ms |\n"
+      << "|------|-------|------:|-------------:|-------------:|-------:|"
+         "-------:|\n";
+  const size_t n = std::min(kTopN, profile.hotspots.size());
+  for (size_t i = 0; i < n; ++i) {
+    const HotspotRow& h = profile.hotspots[i];
+    out << "| " << h.name << " | "
+        << (h.party.empty() ? "(process)" : h.party) << " | " << h.count
+        << " | " << std::fixed << std::setprecision(3) << Ms(h.inclusive_ns)
+        << " | " << Ms(h.exclusive_ns) << " | " << Ms(h.min_ns) << " | "
+        << Ms(h.max_ns) << " |\n";
+  }
+  if (profile.hotspots.size() > n) {
+    out << "\n(" << (profile.hotspots.size() - n) << " more rows omitted)\n";
+  }
+  out << "\n";
+}
+
+void AppendMetricsMarkdown(std::ostringstream& out,
+                           const MetricsSnapshot& metrics) {
+  if (metrics.counters.empty() && metrics.histograms.empty()) return;
+  out << "## Metrics\n\n";
+  if (!metrics.counters.empty()) {
+    out << "| counter | value |\n|---------|------:|\n";
+    for (const auto& [name, value] : metrics.counters) {
+      if (value != 0) out << "| " << name << " | " << value << " |\n";
+    }
+    out << "\n";
+  }
+  if (!metrics.histograms.empty()) {
+    out << "| histogram | count | mean | p50 | p95 | p99 |\n"
+        << "|-----------|------:|-----:|----:|----:|----:|\n";
+    for (const auto& [name, h] : metrics.histograms) {
+      const double mean =
+          h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+      out << "| " << name << " | " << h.count << " | " << std::fixed
+          << std::setprecision(3) << mean << " | " << h.Quantile(0.50) << " | "
+          << h.Quantile(0.95) << " | " << h.Quantile(0.99) << " |\n";
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace
+
+std::string RenderRunReportMarkdown(const std::string& title,
+                                    const ProfileReport& profile,
+                                    const std::vector<RoundStat>& rounds,
+                                    const MetricsSnapshot& metrics) {
+  std::ostringstream out;
+  out << "# " << title << "\n\n";
+  out << "Spans: " << profile.total_spans
+      << ", flow events: " << profile.total_flow_events << "\n\n";
+  AppendRoundsMarkdown(out, rounds);
+  AppendCriticalMarkdown(out, profile);
+  AppendHotspotsMarkdown(out, profile);
+  AppendMetricsMarkdown(out, metrics);
+  return out.str();
+}
+
+std::string RenderRunReportJson(const std::string& title,
+                                const ProfileReport& profile,
+                                const std::vector<RoundStat>& rounds,
+                                const MetricsSnapshot& metrics) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(6);
+  out << "{\n  \"title\": \"" << Escape(title) << "\",\n";
+  out << "  \"total_spans\": " << profile.total_spans << ",\n";
+  out << "  \"total_flow_events\": " << profile.total_flow_events << ",\n";
+  out << "  \"rounds\": [";
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    const RoundStat& r = rounds[i];
+    out << (i ? "," : "") << "\n    {\"round\": " << (i + 1)
+        << ", \"bytes\": " << r.bytes << ", \"messages\": " << r.messages
+        << ", \"retries\": " << r.retries
+        << ", \"redelivered_bytes\": " << r.redelivered_bytes
+        << ", \"wall_ms\": " << r.wall_ms << "}";
+  }
+  out << (rounds.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"critical_path\": [";
+  for (size_t i = 0; i < profile.rounds.size(); ++i) {
+    const RoundCritical& r = profile.rounds[i];
+    out << (i ? "," : "") << "\n    {\"round\": " << r.round
+        << ", \"wall_ms\": " << r.wall_ms << ", \"bounding_party\": \""
+        << Escape(r.bounding_party) << "\", \"bounding_phase\": \""
+        << Escape(r.bounding_phase) << "\", \"bounding_ms\": " << r.bounding_ms
+        << ", \"transfer_attempts\": " << r.transfer_attempts
+        << ", \"retries\": " << r.retries << "}";
+  }
+  out << (profile.rounds.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"hotspots\": [";
+  for (size_t i = 0; i < profile.hotspots.size(); ++i) {
+    const HotspotRow& h = profile.hotspots[i];
+    out << (i ? "," : "") << "\n    {\"name\": \"" << Escape(h.name)
+        << "\", \"party\": \"" << Escape(h.party)
+        << "\", \"count\": " << h.count
+        << ", \"inclusive_ms\": " << Ms(h.inclusive_ns)
+        << ", \"exclusive_ms\": " << Ms(h.exclusive_ns)
+        << ", \"min_ms\": " << Ms(h.min_ns) << ", \"max_ms\": " << Ms(h.max_ns)
+        << "}";
+  }
+  out << (profile.hotspots.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"metrics\": " << metrics.ToJson() << "}\n";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace silofuse

@@ -8,8 +8,11 @@
 #include <memory>
 #include <mutex>
 
+#include <map>
+
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace silofuse {
 namespace obs {
@@ -24,9 +27,13 @@ namespace {
 constexpr size_t kMaxEventsPerThread = size_t{1} << 20;
 
 struct RawEvent {
-  const char* name;  // string literal, never freed
+  const char* name;  // string literal or interned string, never freed
   int64_t start_ns;
   int64_t end_ns;
+  uint64_t packed_ctx = 0;      // TraceContext::Pack form; 0 = no context
+  uint64_t flow_id = 0;         // nonzero for flow points
+  const char* party = nullptr;  // interned party name
+  char phase = 'X';
 };
 
 // Spans land in a per-thread buffer so recording never contends across
@@ -83,14 +90,40 @@ int64_t NowNs() {
       .count();
 }
 
-void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns) {
+namespace {
+
+void Append(RawEvent event) {
   ThreadBuffer* buffer = LocalBuffer();
   std::lock_guard<std::mutex> lock(buffer->mu);
   if (buffer->events.size() >= kMaxEventsPerThread) {
     ++buffer->dropped;
     return;
   }
-  buffer->events.push_back({name, start_ns, end_ns});
+  buffer->events.push_back(event);
+}
+
+}  // namespace
+
+void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns) {
+  Append({name, start_ns, end_ns});
+}
+
+void RecordSpanEvent(const char* name, int64_t start_ns, int64_t end_ns,
+                     uint64_t packed_ctx, const char* party) {
+  RawEvent event{name, start_ns, end_ns};
+  event.packed_ctx = packed_ctx;
+  event.party = party;
+  Append(event);
+}
+
+void RecordFlowEvent(const char* name, uint64_t flow_id, bool start,
+                     const char* party) {
+  const int64_t now = NowNs();
+  RawEvent event{name, now, now};
+  event.flow_id = flow_id;
+  event.party = party;
+  event.phase = start ? 's' : 'f';
+  Append(event);
 }
 
 }  // namespace internal_trace
@@ -134,6 +167,16 @@ std::vector<TraceEvent> SnapshotTraceEvents() {
       event.tid = buffer->tid;
       event.start_ns = raw.start_ns;
       event.dur_ns = raw.end_ns - raw.start_ns;
+      event.phase = raw.phase;
+      event.flow_id = raw.flow_id;
+      event.party = raw.party;
+      if (raw.packed_ctx != 0) {
+        const TraceContext ctx = TraceContext::Unpack(raw.packed_ctx);
+        event.run_id = ctx.run_id;
+        event.round = ctx.round;
+        event.silo_id = ctx.silo_id;
+        event.tag = ctx.tag;
+      }
       events.push_back(std::move(event));
     }
   }
@@ -169,15 +212,65 @@ Status WriteTraceJson(const std::string& path) {
   // Chrome trace-event format: complete ("X") events with microsecond
   // timestamps; the viewer nests same-tid events by time range. Fixed
   // 3-decimal microseconds keep nanosecond resolution at any uptime.
+  //
+  // Party-attributed events land on a per-party "process" (pid 2, 3, ...;
+  // pid 1 is the unattributed process track) named via process_name
+  // metadata, so coordinator and every client get their own labelled
+  // timeline. Transfer flow points ("ph": "s"/"f", shared "id") draw the
+  // sender->receiver arrow between the spans that enclose them.
+  std::map<std::string, int> party_pids;
+  for (const TraceEvent& e : events) {
+    if (e.party != nullptr && party_pids.find(e.party) == party_pids.end()) {
+      const int pid = 2 + static_cast<int>(party_pids.size());
+      party_pids.emplace(e.party, pid);
+    }
+  }
   out << std::fixed << std::setprecision(3);
   out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
-  for (size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
-    out << (i ? ",\n" : "\n");
-    out << "  {\"name\": \"" << e.name << "\", \"cat\": \"silofuse\", "
-        << "\"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid << ", \"ts\": "
-        << static_cast<double>(e.start_ns) / 1000.0 << ", \"dur\": "
-        << static_cast<double>(e.dur_ns) / 1000.0 << "}";
+  bool first = true;
+  auto separator = [&]() -> std::ostream& {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    return out;
+  };
+  separator() << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+                 "\"args\": {\"name\": \"silofuse\"}}";
+  for (const auto& [party, pid] : party_pids) {
+    separator() << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+                << pid << ", \"args\": {\"name\": \"" << party << "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    const int pid =
+        e.party == nullptr ? 1 : party_pids.find(e.party)->second;
+    separator() << "  {\"name\": \"" << e.name
+                << "\", \"cat\": \"silofuse\", \"ph\": \"" << e.phase
+                << "\", \"pid\": " << pid << ", \"tid\": " << e.tid
+                << ", \"ts\": " << static_cast<double>(e.start_ns) / 1000.0;
+    if (e.phase == 'X') {
+      out << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1000.0;
+    } else {
+      // Flow points bind to the enclosing slice at their timestamp.
+      out << ", \"id\": " << e.flow_id;
+      if (e.phase == 'f') out << ", \"bp\": \"e\"";
+    }
+    if (e.run_id != 0 || e.party != nullptr) {
+      out << ", \"args\": {";
+      bool first_arg = true;
+      auto arg = [&](const char* key) -> std::ostream& {
+        out << (first_arg ? "" : ", ") << "\"" << key << "\": ";
+        first_arg = false;
+        return out;
+      };
+      if (e.run_id != 0) {
+        arg("run_id") << e.run_id;
+        arg("round") << e.round;
+        if (e.silo_id >= 0) arg("silo") << e.silo_id;
+        if (e.tag != nullptr) arg("tag") << "\"" << e.tag << "\"";
+      }
+      if (e.party != nullptr) arg("party") << "\"" << e.party << "\"";
+      out << "}";
+    }
+    out << "}";
   }
   out << "\n]}\n";
   out.flush();

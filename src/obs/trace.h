@@ -20,6 +20,15 @@ int64_t NowNs();
 /// Appends one closed span to the calling thread's buffer. `name` must be a
 /// string literal (the pointer is stored, not the characters).
 void RecordSpan(const char* name, int64_t start_ns, int64_t end_ns);
+/// Span with a packed TraceContext (trace_context.h) and an optional
+/// interned party attribution; party-attributed spans are exported on a
+/// per-party track (Chrome pid) so cross-silo work reads as one timeline.
+void RecordSpanEvent(const char* name, int64_t start_ns, int64_t end_ns,
+                     uint64_t packed_ctx, const char* party);
+/// Flow point ("s" when start, else "f") at the current time, binding to
+/// the span enclosing it in the exported trace.
+void RecordFlowEvent(const char* name, uint64_t flow_id, bool start,
+                     const char* party);
 }  // namespace internal_trace
 
 /// True when spans are being recorded.
@@ -37,12 +46,24 @@ void DisableTracing();
 /// Path WriteTraceJson is flushed to ("" = none).
 std::string TraceExportPath();
 
-/// One closed span, for programmatic inspection (tests, bench summaries).
+/// One recorded event, for programmatic inspection (tests, profile
+/// aggregation, bench summaries). `phase` distinguishes complete spans
+/// ('X') from transfer flow points ('s' = flow start, 'f' = flow finish);
+/// flow points have dur_ns == 0 and a nonzero flow_id shared by both ends
+/// of one transfer. Context fields mirror obs::TraceContext and are unset
+/// (run_id 0, round 0, silo_id -1, tag nullptr) for plain spans.
 struct TraceEvent {
   std::string name;
   int tid = 0;          // small per-thread id, 1 = first recording thread
   int64_t start_ns = 0;
   int64_t dur_ns = 0;
+  char phase = 'X';
+  uint64_t flow_id = 0;
+  uint32_t run_id = 0;
+  int32_t round = 0;
+  int32_t silo_id = -1;
+  const char* tag = nullptr;    // interned transfer tag
+  const char* party = nullptr;  // interned party name, nullptr = process
 };
 
 /// Copies all recorded spans out of every thread buffer, sorted by start

@@ -1,0 +1,103 @@
+#ifndef SILOFUSE_OBS_TRACE_CONTEXT_H_
+#define SILOFUSE_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace silofuse {
+namespace obs {
+
+/// Causal context of one cross-silo protocol step: which run, which
+/// communication round, which silo, which transfer tag. The context is
+/// ambient (thread-local, RAII-scoped), flows across the runtime pool with
+/// submitted tasks, and rides inside the fixed 24-byte wire frame header of
+/// every ReliableTransfer send — packed into 8 previously idle header bytes,
+/// so MatrixWireBytes (and with it every Fig. 10 byte count) is unchanged.
+struct TraceContext {
+  /// Process-unique id of one Fit/Synthesize run; 0 = no context.
+  uint32_t run_id = 0;
+  /// 1-based communication round (0 = outside any round), matching
+  /// FaultPlan's round numbering.
+  int32_t round = 0;
+  /// Originating silo, -1 = coordinator / not silo-scoped.
+  int32_t silo_id = -1;
+  /// Interned transfer tag (InternTraceString), nullptr = none.
+  const char* tag = nullptr;
+
+  bool set() const { return run_id != 0; }
+
+  /// 8-byte wire form: run_id:24 | round:16 | silo+1:8 | tag_id:8 | zero:8.
+  /// Out-of-range fields saturate (run_id wraps at 2^24, round at 2^16-1,
+  /// silo ids above 253 and tag ids above 255 become "unset") — the context
+  /// is telemetry, never protocol state, so lossy packing is acceptable.
+  uint64_t Pack() const;
+  static TraceContext Unpack(uint64_t word);
+};
+
+/// Interns `s` into a process-lifetime table and returns a stable pointer,
+/// so dynamic strings (channel tags, party names) can be attached to trace
+/// events that only store `const char*`. Idempotent per distinct content.
+const char* InternTraceString(const std::string& s);
+
+/// Small intern-table id for Pack (1-based; 0 = nullptr/overflow) and back.
+uint8_t TraceStringId(const char* interned);
+const char* TraceStringById(uint8_t id);
+
+/// Allocates a fresh run id (1, 2, ...) for TraceContext::run_id.
+uint32_t NextTraceRunId();
+
+/// The calling thread's ambient context (all-defaults when none installed).
+const TraceContext& CurrentTraceContext();
+
+/// Installs `ctx` as the thread's ambient context for the scope's lifetime,
+/// restoring the previous context on destruction. Nests naturally.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// RAII span that records the ambient TraceContext (or an explicit one) and
+/// an optional party attribution ("coordinator", "client_3"). Party-
+/// attributed spans land on per-party tracks in the exported Chrome trace,
+/// which is what stitches coordinator and client work into one timeline.
+/// `name` must be a string literal; `party` must be interned (or nullptr).
+class ContextSpan {
+ public:
+  explicit ContextSpan(const char* name, const char* party = nullptr);
+  ContextSpan(const char* name, const char* party, const TraceContext& ctx);
+  ~ContextSpan();
+
+  ContextSpan(const ContextSpan&) = delete;
+  ContextSpan& operator=(const ContextSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr = tracing was off at construction
+  const char* party_ = nullptr;
+  uint64_t packed_ctx_ = 0;
+  int64_t start_ns_ = 0;
+};
+
+/// Emits a flow-start / flow-finish point bound to the currently open span
+/// on this thread. A transfer's sender records `start=true` inside its send
+/// span and the receiver records `start=false` with the same `flow_id`
+/// inside its receive span; the trace viewer draws the connecting arrow.
+/// No-ops when tracing is disabled.
+void RecordTransferFlow(const char* name, uint64_t flow_id, bool start,
+                        const char* party = nullptr);
+
+/// Process-unique flow id (never 0).
+uint64_t NextFlowId();
+
+}  // namespace obs
+}  // namespace silofuse
+
+#endif  // SILOFUSE_OBS_TRACE_CONTEXT_H_

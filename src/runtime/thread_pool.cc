@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace silofuse {
 namespace {
@@ -80,7 +81,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     // before the pool joins. Only non-worker submits require the pool to
     // be outside its destructor (a plain lifetime rule).
     SF_CHECK(!stop_ || InWorker()) << "Submit on a stopped ThreadPool";
-    queue_.push_back({std::move(task), now_ns});
+    queue_.push_back(
+        {std::move(task), now_ns, obs::CurrentTraceContext().Pack()});
     depth = queue_.size();
   }
   Metrics().queue_depth->Set(static_cast<double>(depth));
@@ -107,6 +109,9 @@ void ThreadPool::WorkerLoop() {
     metrics.queue_wait_us->Observe(
         static_cast<double>(start_ns - task.enqueue_ns) / 1e3);
     {
+      // Re-install the submitter's trace context so spans recorded inside
+      // the task attribute to the run/round/silo that enqueued it.
+      obs::ScopedTraceContext ctx(obs::TraceContext::Unpack(task.trace_ctx));
       SF_TRACE_SPAN("pool.task");
       task.fn();
     }

@@ -44,10 +44,13 @@ class ThreadPool {
 
  private:
   /// Queue entry: the task plus its enqueue timestamp, so the scheduler's
-  /// queue-wait latency is observable ("runtime.pool.queue_wait_us").
+  /// queue-wait latency is observable ("runtime.pool.queue_wait_us"), and
+  /// the submitter's packed obs::TraceContext, so spans recorded inside the
+  /// task keep the run/round/silo attribution of the code that submitted it.
   struct QueuedTask {
     std::function<void()> fn;
     int64_t enqueue_ns = 0;
+    uint64_t trace_ctx = 0;
   };
 
   void WorkerLoop();

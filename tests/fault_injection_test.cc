@@ -16,6 +16,8 @@
 #include "distributed/e2e_distributed.h"
 #include "distributed/fault.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "runtime/parallel_for.h"
 
 namespace silofuse {
@@ -159,6 +161,48 @@ TEST(ReliableTransferTest, ScriptedDropsRetryWithExactBackoffAndMetrics) {
 
   // Exponential backoff: 10ms then 20ms, exactly, on the virtual clock.
   EXPECT_EQ(clock.ElapsedNs(), (10 + 20) * 1'000'000);
+}
+
+TEST(ReliableTransferTest, RetryPathEmitsAttemptBackoffAndRecvSpans) {
+  obs::ClearTraceEvents();
+  obs::EnableTracing(/*export_path=*/"");
+  Channel channel;
+  FaultPlan plan(/*seed=*/7);
+  FaultSpec spec;
+  spec.drop_first = 2;
+  plan.SetTagFaults("latents", spec);
+  FaultyChannel wire(&channel, &plan);
+  VirtualClock clock;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 10;
+  policy.backoff_multiplier = 2.0;
+  ReliableTransfer transfer(&wire, policy, &clock);
+
+  wire.BeginRound();
+  auto delivered = transfer.SendMatrix("client_0", "coordinator",
+                                       TestMatrix(6, 3), "latents");
+  ASSERT_TRUE(delivered.ok()) << delivered.status().ToString();
+  obs::DisableTracing();
+
+  // The retry dance is visible in the trace: one span per delivery attempt,
+  // one span per backoff wait (with the scheduled 10ms/20ms durations), and
+  // a single receive span once the frame finally decodes.
+  int attempts = 0, recvs = 0;
+  std::vector<int64_t> backoff_ms;
+  for (const obs::TraceEvent& e : obs::SnapshotTraceEvents()) {
+    if (e.name == "transfer.attempt") ++attempts;
+    if (e.name == "transfer.recv") ++recvs;
+    if (e.name == "transfer.backoff") {
+      backoff_ms.push_back(e.dur_ns / 1'000'000);
+    }
+  }
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(recvs, 1);
+  ASSERT_EQ(backoff_ms.size(), 2u);
+  EXPECT_EQ(backoff_ms[0], 10);
+  EXPECT_EQ(backoff_ms[1], 20);
+  obs::ClearTraceEvents();
 }
 
 TEST(ReliableTransferTest, ExhaustedRetriesSurfaceUnavailable) {

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "distributed/channel.h"
@@ -337,6 +338,98 @@ TEST_F(ObsChannelTest, ConcurrentSendsRecordEveryMessage) {
   const std::vector<ChannelRound> rounds = channel.RoundLog();
   ASSERT_EQ(rounds.size(), 1u);
   EXPECT_EQ(rounds[0].messages, kThreads * kSends);
+}
+
+TEST_F(ObsMetricsTest, HistogramQuantilesInterpolateWithinBuckets) {
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("test.q", {10.0, 100.0});
+  // 8 observations in (0, 10], 2 in (10, 100].
+  for (int i = 0; i < 8; ++i) h->Observe(5.0);
+  h->Observe(50.0);
+  h->Observe(60.0);
+  const HistogramSnapshot snap =
+      MetricsRegistry::Global().Snapshot().histograms.at("test.q");
+  // p50: rank 5 of 8 inside bucket 0 [0, 10] -> 10 * 5/8 = 6.25.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.50), 6.25);
+  // p90: rank 9, the first of the 2 in (10, 100] -> 10 + 90 * 1/2 = 55.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.90), 55.0);
+  // q = 0 and q = 1 clamp to the distribution's edges.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 100.0);
+}
+
+TEST_F(ObsMetricsTest, HistogramQuantileOverflowAndEmptyEdgeCases) {
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("test.q.edge", {10.0});
+  HistogramSnapshot empty =
+      MetricsRegistry::Global().Snapshot().histograms.at("test.q.edge");
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+  // All mass in the overflow bucket: quantiles report the last finite bound
+  // (the histogram cannot see beyond it).
+  h->Observe(1e6);
+  h->Observe(2e6);
+  const HistogramSnapshot snap =
+      MetricsRegistry::Global().Snapshot().histograms.at("test.q.edge");
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 10.0);
+}
+
+TEST_F(ObsMetricsTest, SnapshotJsonCarriesQuantiles) {
+  MetricsRegistry::Global().GetHistogram("test.q.json", {10.0})->Observe(5.0);
+  const std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+  EXPECT_TRUE(LooksLikeJsonObject(json)) << json;
+  EXPECT_NE(json.find("\"p50\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+}
+
+TEST_F(ObsChannelTest, RoundWallTimeIsDeterministicOnVirtualClock) {
+  Channel channel;
+  VirtualClock clock;
+  channel.SetClock(&clock);
+  channel.BeginRound();
+  clock.SleepFor(15'000'000);  // 15ms of virtual time
+  channel.Send("client_0", "server", /*bytes=*/64, "t");
+  channel.BeginRound();  // closes round 1 at the virtual 15ms mark
+  clock.SleepFor(40'000'000);
+  channel.Send("server", "client_0", /*bytes=*/64, "t");
+  const std::vector<ChannelRound> rounds = channel.RoundLog();
+  ASSERT_EQ(rounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(rounds[0].wall_ms, 15.0);
+  // The open round is timed up to the snapshot instant.
+  EXPECT_DOUBLE_EQ(rounds[1].wall_ms, 40.0);
+}
+
+TEST_F(ObsChannelTest, SendMatrixEmitsLinkedSendAndRecvSpans) {
+  EnableTracing(/*export_path=*/"");
+  Channel channel;
+  Rng rng(5);
+  const Matrix payload = Matrix::RandomNormal(3, 3, &rng);
+  channel.BeginRound();
+  channel.SendMatrix("client_0", "coordinator", payload, "latents");
+  DisableTracing();
+
+  const std::vector<TraceEvent> events = SnapshotTraceEvents();
+  const TraceEvent* send = nullptr;
+  const TraceEvent* recv = nullptr;
+  uint64_t flow_start = 0, flow_finish = 0;
+  for (const TraceEvent& e : events) {
+    if (e.name == "channel.send") send = &e;
+    if (e.name == "channel.recv") recv = &e;
+    if (e.phase == 's') flow_start = e.flow_id;
+    if (e.phase == 'f') flow_finish = e.flow_id;
+  }
+  ASSERT_NE(send, nullptr);
+  ASSERT_NE(recv, nullptr);
+  ASSERT_NE(send->party, nullptr);
+  ASSERT_NE(recv->party, nullptr);
+  EXPECT_STREQ(send->party, "client_0");
+  EXPECT_STREQ(recv->party, "coordinator");
+  ASSERT_NE(send->tag, nullptr);
+  EXPECT_STREQ(send->tag, "latents");
+  // One flow connects the pair.
+  EXPECT_NE(flow_start, 0u);
+  EXPECT_EQ(flow_start, flow_finish);
 }
 
 }  // namespace

@@ -1,0 +1,326 @@
+// sf_report: one merged run report (Markdown and/or JSON) from SiloFuse
+// telemetry — per-round communication, the trace-derived critical path, the
+// hotspot table, and headline metrics.
+//
+// Two modes:
+//
+//   sf_report --run [--clients M] [--rows N] [--faults] [--trace-out t.json]
+//     Executes an end-to-end distributed run in-process (coordinator + M
+//     clients; --faults adds drops/duplicates/delays on a virtual clock),
+//     with tracing on, and reports on the telemetry it produced.
+//
+//   sf_report --metrics metrics.json [--trace trace.json]
+//     Post-hoc mode: rebuilds the report from telemetry files exported by
+//     any silofuse binary (SILOFUSE_METRICS / SILOFUSE_TRACE).
+//
+// Common flags: --out report.md --json-out report.json (default: Markdown
+// to stdout).
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/silofuse.h"
+#include "data/generators/paper_datasets.h"
+#include "obs/bench_compare.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+
+using namespace silofuse;
+
+namespace {
+
+struct Args {
+  bool run = false;
+  bool faults = false;
+  int clients = 4;
+  int rows = 600;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string out_path;
+  std::string json_out_path;
+  std::string trace_out_path;
+};
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " (--run [--clients M] [--rows N] [--faults] "
+               "[--trace-out FILE] | --metrics FILE [--trace FILE]) "
+               "[--out FILE] [--json-out FILE]\n";
+  return 64;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--run") {
+      args->run = true;
+    } else if (flag == "--faults") {
+      args->faults = true;
+    } else if (flag == "--clients") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->clients = std::atoi(v);
+    } else if (flag == "--rows") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->rows = std::atoi(v);
+    } else if (flag == "--metrics") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->metrics_path = v;
+    } else if (flag == "--trace") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->trace_path = v;
+    } else if (flag == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->out_path = v;
+    } else if (flag == "--json-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->json_out_path = v;
+    } else if (flag == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args->trace_out_path = v;
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  return args->run || !args->metrics_path.empty();
+}
+
+std::vector<obs::RoundStat> RoundStatsFromChannel(const Channel& channel) {
+  std::vector<obs::RoundStat> rounds;
+  for (const ChannelRound& r : channel.RoundLog()) {
+    obs::RoundStat stat;
+    stat.bytes = r.bytes;
+    stat.messages = r.messages;
+    stat.retries = r.retries;
+    stat.redelivered_bytes = r.redelivered_bytes;
+    stat.wall_ms = r.wall_ms;
+    rounds.push_back(stat);
+  }
+  return rounds;
+}
+
+/// End-to-end distributed run: coordinator + M clients over the in-process
+/// wire, optionally with injected faults on a virtual clock so retries cost
+/// no real time.
+int RunAndReport(const Args& args, obs::ProfileReport* profile,
+                 std::vector<obs::RoundStat>* rounds) {
+  obs::EnableTracing(args.trace_out_path);
+  auto data = GeneratePaperDataset("loan", args.rows, /*seed=*/1);
+  if (!data.ok()) {
+    std::cerr << data.status().ToString() << "\n";
+    return 1;
+  }
+  SiloFuseOptions options;
+  options.base.autoencoder_steps = 150;
+  options.base.diffusion_train_steps = 300;
+  options.base.batch_size = 128;
+  options.partition.num_clients = args.clients;
+
+  FaultPlan plan(0x5f07);
+  VirtualClock clock;
+  if (args.faults) {
+    FaultSpec flaky;
+    flaky.drop_prob = 0.2;
+    flaky.duplicate_prob = 0.1;
+    flaky.delay_prob = 0.1;
+    flaky.delay_ms = 15;
+    plan.SetDefaultFaults(flaky);
+    options.fault.plan = &plan;
+    options.fault.clock = &clock;
+    options.fault.retry.initial_backoff_ms = 5;
+  }
+
+  Rng rng(7);
+  SiloFuse model(options);
+  Status fit = model.Fit(data.Value(), &rng);
+  if (!fit.ok()) {
+    std::cerr << "Fit failed: " << fit.ToString() << "\n";
+    return 1;
+  }
+  auto synth = model.SynthesizePartitioned(args.rows, &rng);
+  if (!synth.ok()) {
+    std::cerr << "Synthesize failed: " << synth.status().ToString() << "\n";
+    return 1;
+  }
+  *profile = obs::BuildProfile(obs::SnapshotTraceEvents());
+  *rounds = RoundStatsFromChannel(model.channel());
+  if (!args.trace_out_path.empty()) {
+    Status s = obs::WriteTraceJson(args.trace_out_path);
+    if (!s.ok()) std::cerr << s.ToString() << "\n";
+  }
+  obs::DisableTracing();
+  return 0;
+}
+
+/// Rebuilds TraceEvents from an exported Chrome trace: "X" slices become
+/// spans (party recovered from the process_name metadata written by
+/// WriteTraceJson), "s"/"f" points become flow events.
+std::vector<obs::TraceEvent> TraceEventsFromJson(const json::Value& doc) {
+  std::vector<obs::TraceEvent> events;
+  const json::Value* list = doc.Find("traceEvents");
+  if (list == nullptr || !list->is_array()) return events;
+  std::map<int, const char*> party_by_pid;
+  for (const json::Value& e : list->AsArray()) {
+    if (e.StringOr("ph", "") == "M" &&
+        e.StringOr("name", "") == "process_name") {
+      const int pid = static_cast<int>(e.NumberOr("pid", 0));
+      const json::Value* inner = e.Find("args");
+      if (pid > 1 && inner != nullptr) {
+        party_by_pid[pid] =
+            obs::InternTraceString(inner->StringOr("name", ""));
+      }
+    }
+  }
+  for (const json::Value& e : list->AsArray()) {
+    const std::string ph = e.StringOr("ph", "");
+    if (ph != "X" && ph != "s" && ph != "f") continue;
+    obs::TraceEvent event;
+    event.name = e.StringOr("name", "");
+    event.phase = ph[0];
+    event.tid = static_cast<int>(e.NumberOr("tid", 0));
+    event.start_ns = static_cast<int64_t>(e.NumberOr("ts", 0.0) * 1000.0);
+    event.dur_ns = static_cast<int64_t>(e.NumberOr("dur", 0.0) * 1000.0);
+    event.flow_id = static_cast<uint64_t>(e.NumberOr("id", 0));
+    auto pid_it =
+        party_by_pid.find(static_cast<int>(e.NumberOr("pid", 0)));
+    if (pid_it != party_by_pid.end()) event.party = pid_it->second;
+    if (const json::Value* span_args = e.Find("args"); span_args != nullptr) {
+      event.run_id = static_cast<uint32_t>(span_args->NumberOr("run_id", 0));
+      event.round = static_cast<int32_t>(span_args->NumberOr("round", 0));
+      event.silo_id = static_cast<int32_t>(span_args->NumberOr("silo", -1));
+      const std::string tag = span_args->StringOr("tag", "");
+      if (!tag.empty()) event.tag = obs::InternTraceString(tag);
+    }
+    events.push_back(std::move(event));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.dur_ns > b.dur_ns;
+            });
+  return events;
+}
+
+/// Rebuilds a MetricsSnapshot from an exported metrics.json.
+obs::MetricsSnapshot MetricsFromJson(const json::Value& doc) {
+  obs::MetricsSnapshot snapshot;
+  if (const json::Value* counters = doc.Find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [name, v] : counters->AsObject()) {
+      if (v.is_number()) {
+        snapshot.counters[name] = static_cast<int64_t>(v.AsNumber());
+      }
+    }
+  }
+  if (const json::Value* gauges = doc.Find("gauges");
+      gauges != nullptr && gauges->is_object()) {
+    for (const auto& [name, v] : gauges->AsObject()) {
+      if (v.is_number()) snapshot.gauges[name] = v.AsNumber();
+    }
+  }
+  if (const json::Value* histograms = doc.Find("histograms");
+      histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, v] : histograms->AsObject()) {
+      obs::HistogramSnapshot h;
+      if (const json::Value* bounds = v.Find("bounds");
+          bounds != nullptr && bounds->is_array()) {
+        for (const json::Value& b : bounds->AsArray()) {
+          h.bounds.push_back(b.AsNumber());
+        }
+      }
+      if (const json::Value* counts = v.Find("counts");
+          counts != nullptr && counts->is_array()) {
+        for (const json::Value& c : counts->AsArray()) {
+          h.bucket_counts.push_back(static_cast<int64_t>(c.AsNumber()));
+        }
+      }
+      h.count = static_cast<int64_t>(v.NumberOr("count", 0));
+      h.sum = v.NumberOr("sum", 0.0);
+      snapshot.histograms[name] = std::move(h);
+    }
+  }
+  return snapshot;
+}
+
+bool WriteOrPrint(const std::string& path, const std::string& content) {
+  if (path.empty() || path == "-") {
+    std::cout << content;
+    return true;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  out.flush();
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage(argv[0]);
+
+  obs::ProfileReport profile;
+  std::vector<obs::RoundStat> rounds;
+  obs::MetricsSnapshot metrics;
+  std::string title;
+
+  if (args.run) {
+    title = std::string("SiloFuse run report (") +
+            std::to_string(args.clients) + " clients" +
+            (args.faults ? ", faults injected" : "") + ")";
+    const int rc = RunAndReport(args, &profile, &rounds);
+    if (rc != 0) return rc;
+    metrics = obs::MetricsRegistry::Global().Snapshot();
+  } else {
+    title = "SiloFuse run report (from " + args.metrics_path + ")";
+    auto metrics_doc = json::ParseFile(args.metrics_path);
+    if (!metrics_doc.ok()) {
+      std::cerr << metrics_doc.status().ToString() << "\n";
+      return 1;
+    }
+    metrics = MetricsFromJson(metrics_doc.Value());
+    if (!args.trace_path.empty()) {
+      auto trace_doc = json::ParseFile(args.trace_path);
+      if (!trace_doc.ok()) {
+        std::cerr << trace_doc.status().ToString() << "\n";
+        return 1;
+      }
+      profile = obs::BuildProfile(TraceEventsFromJson(trace_doc.Value()));
+    }
+  }
+
+  bool ok = true;
+  if (!args.json_out_path.empty()) {
+    ok = WriteOrPrint(args.json_out_path, obs::RenderRunReportJson(
+                                              title, profile, rounds, metrics));
+  }
+  if (args.json_out_path.empty() || !args.out_path.empty()) {
+    ok = WriteOrPrint(args.out_path, obs::RenderRunReportMarkdown(
+                                         title, profile, rounds, metrics)) &&
+         ok;
+  }
+  return ok ? 0 : 1;
+}
