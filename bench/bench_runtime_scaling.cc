@@ -24,6 +24,7 @@
 #include "obs/metrics.h"
 #include "runtime/parallel_for.h"
 #include "tensor/matrix.h"
+#include "tensor/mem_stats.h"
 
 using namespace silofuse;
 
@@ -88,6 +89,12 @@ std::string Json(const std::vector<int>& threads,
   out << "{\n  \"bench\": \"runtime_scaling\",\n";
   out << "  \"gemm_dim\": " << gemm_dim << ",\n";
   out << "  \"sample_rows\": " << sample_rows << ",\n";
+  // Matrix allocation accounting for the whole sweep. The _bytes keys are
+  // gated by bench_compare on absolute growth (peak memory regressions);
+  // the alloc count is informational.
+  out << "  \"matrix_peak_bytes\": " << memstats::PeakBytes() << ",\n";
+  out << "  \"matrix_live_bytes\": " << memstats::LiveBytes() << ",\n";
+  out << "  \"matrix_allocs\": " << memstats::AllocCount() << ",\n";
   out << "  \"pool_tasks\": " << pool.tasks << ",\n";
   out << "  \"pool_task_mean_us\": " << pool.mean_task_us << ",\n";
   out << "  \"pool_task_p50_us\": " << pool.p50_task_us << ",\n";
@@ -123,6 +130,7 @@ std::string Json(const std::vector<int>& threads,
 
 int main(int argc, char** argv) {
   obs::InitTelemetryFromArgs(argc, argv);
+  memstats::SetEnabled(true);  // track Matrix live/peak bytes for the sweep
   const double scale = bench::Scale();
   const int gemm_dim = std::max(64, static_cast<int>(512 * std::min(1.0, scale)));
   const int sample_rows = std::max(32, static_cast<int>(256 * std::min(1.0, scale)));

@@ -89,8 +89,10 @@ Status SiloFuse::FitPartitioned(std::vector<Table> parts,
     obs::ContextSpan train_span(
         "client.train_autoencoder",
         tracing ? obs::InternTraceString(client->party_name()) : nullptr);
-    const double loss = client->TrainAutoencoder(
-        options_.base.autoencoder_steps, options_.base.batch_size, &client_rng);
+    SF_ASSIGN_OR_RETURN(
+        const double loss,
+        client->TrainAutoencoder(options_.base.autoencoder_steps,
+                                 options_.base.batch_size, &client_rng));
     SF_LOG(Debug) << "SiloFuse client " << i << " AE loss " << loss;
     clients_.push_back(std::move(client));
   }
@@ -161,13 +163,48 @@ Status SiloFuse::FitPartitioned(std::vector<Table> parts,
   // --- Lines 11-15: coordinator trains the diffusion backbone locally ---
   coordinator_ = std::make_unique<Coordinator>(options_.base.diffusion);
   Rng coord_rng = rng->Fork();
+
+  // Optional mid-training quality probes: periodically run Algorithm 2
+  // end-to-end (sample latents from the half-trained backbone, decode on
+  // each surviving silo, reassemble) and score the result against the
+  // reassembled training features. Probes draw from their own fixed-seed
+  // Rng, so the training trajectory is unchanged.
+  obs::health::QualityProbe probe;
+  Table probe_reference;  // must outlive TrainOnLatents
+  if (options_.base.quality_probe_every > 0) {
+    std::vector<Table> feature_parts;
+    feature_parts.reserve(clients_.size());
+    for (auto& client : clients_) feature_parts.push_back(client->features());
+    SF_ASSIGN_OR_RETURN(probe_reference,
+                        ReassembleColumns(feature_parts, partition_));
+    probe.every_steps = options_.base.quality_probe_every;
+    probe.rows = std::max(
+        1, std::min(options_.base.quality_probe_rows, probe_reference.num_rows()));
+    probe.reference = &probe_reference;
+    probe.prefix = "quality.coordinator";
+    probe.synthesize = [this](int rows, Rng* probe_rng) -> Result<Table> {
+      SF_ASSIGN_OR_RETURN(
+          Matrix latent_sample,
+          coordinator_->SampleLatents(rows, options_.base.inference_steps,
+                                      options_.base.sampling_eta, probe_rng));
+      std::vector<Table> decoded;
+      decoded.reserve(clients_.size());
+      int offset = 0;
+      for (auto& client : clients_) {
+        Matrix z_i = latent_sample.SliceCols(offset, client->latent_dim());
+        offset += client->latent_dim();
+        decoded.push_back(client->Decode(z_i, probe_rng, /*sample=*/true));
+      }
+      return ReassembleColumns(decoded, partition_);
+    };
+  }
   {
     obs::ContextSpan coord_span(
         "coordinator.train_ddpm",
         tracing ? obs::InternTraceString("coordinator") : nullptr, run_ctx);
     SF_RETURN_NOT_OK(coordinator_->TrainOnLatents(
         z, options_.base.diffusion_train_steps, options_.base.batch_size,
-        &coord_rng));
+        &coord_rng, probe.every_steps > 0 ? &probe : nullptr));
   }
   fitted_ = true;
   return Status::OK();

@@ -94,6 +94,8 @@ GaussianDdpm::GaussianDdpm(const GaussianDdpmConfig& config, Rng* rng)
   }
   backbone_.Emplace<Linear>(config.hidden_dim, config.data_dim, rng);
   skip_ = std::make_unique<Linear>(config.data_dim, config.data_dim, rng);
+  PrefixParameterNames(backbone_.Parameters(), "backbone.");
+  PrefixParameterNames(skip_->Parameters(), "skip.");
   std::vector<Parameter*> params = backbone_.Parameters();
   for (Parameter* p : skip_->Parameters()) params.push_back(p);
   optimizer_ = std::make_unique<Adam>(std::move(params), config.lr);

@@ -26,8 +26,9 @@ std::unique_ptr<SiloClient> SiloClient::FromAutoencoder(
   return client;
 }
 
-double SiloClient::TrainAutoencoder(int steps, int batch_size, Rng* rng) {
-  return autoencoder_->Train(features_, steps, batch_size, rng);
+Result<double> SiloClient::TrainAutoencoder(int steps, int batch_size,
+                                            Rng* rng) {
+  return autoencoder_->Train(features_, steps, batch_size, rng, id_);
 }
 
 Matrix SiloClient::ComputeLatents() const {

@@ -26,8 +26,10 @@ class SiloClient {
   static std::unique_ptr<SiloClient> FromAutoencoder(
       int id, std::unique_ptr<TabularAutoencoder> autoencoder);
 
-  /// Local autoencoder training (lines 1-7 of Algorithm 1).
-  double TrainAutoencoder(int steps, int batch_size, Rng* rng);
+  /// Local autoencoder training (lines 1-7 of Algorithm 1). Runs under the
+  /// training-health watchdog with this silo's id; a watchdog abort
+  /// surfaces as kFailedPrecondition naming the offending layer and silo.
+  Result<double> TrainAutoencoder(int steps, int batch_size, Rng* rng);
 
   /// Z_i = E_i(X_i) over the full local feature set (line 9).
   Matrix ComputeLatents() const;

@@ -14,7 +14,8 @@ Result<Matrix> Coordinator::ShipLatentSlice(ReliableTransfer* transfer,
 }
 
 Status Coordinator::TrainOnLatents(const Matrix& latents, int steps,
-                                   int batch_size, Rng* rng) {
+                                   int batch_size, Rng* rng,
+                                   const obs::health::QualityProbe* probe) {
   SF_TRACE_SPAN("coordinator.train_on_latents");
   if (latents.rows() < 2) {
     return Status::InvalidArgument("coordinator needs at least 2 latent rows");
@@ -26,11 +27,18 @@ Status Coordinator::TrainOnLatents(const Matrix& latents, int steps,
   ddpm_ = std::make_unique<GaussianDdpm>(config, rng);
   obs::TrainLoopTelemetry telemetry("coordinator.train",
                                     std::min(batch_size, z0.rows()));
+  telemetry.WatchHealth(ddpm_->Parameters());
+  obs::health::QualityProbeRunner probe_runner(
+      probe != nullptr ? *probe : obs::health::QualityProbe{});
   for (int s = 0; s < steps; ++s) {
     const std::vector<int> idx =
         SampleBatchIndices(z0.rows(), std::min(batch_size, z0.rows()), rng);
     const double loss = ddpm_->TrainStep(z0.GatherRows(idx), rng);
-    telemetry.Step({{"diffusion_loss", loss}});
+    SF_RETURN_NOT_OK(telemetry.Step({{"diffusion_loss", loss}}));
+    // Probes run between optimizer steps: the next TrainStep re-establishes
+    // the layer caches its Backward needs, so mid-training inference through
+    // the shared backbone is safe here (and nowhere inside a step).
+    SF_RETURN_NOT_OK(probe_runner.MaybeRun(s + 1));
   }
   return Status::OK();
 }

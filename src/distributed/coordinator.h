@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "diffusion/gaussian_ddpm.h"
 #include "models/synthesizer.h"
+#include "obs/health.h"
 
 namespace silofuse {
 
@@ -24,8 +25,16 @@ class Coordinator {
 
   /// Trains G on the concatenated latents Z = Z_1 || ... || Z_M
   /// (lines 10-15 of Algorithm 1). Latents are standardized internally.
+  /// Runs under the training-health watchdog: a diverging or NaN-poisoned
+  /// backbone aborts with kFailedPrecondition naming the offending layer
+  /// and step. An optional quality probe periodically samples a small
+  /// latent batch from the partially trained backbone (probe->synthesize
+  /// decodes it back to a table) and scores it against probe->reference,
+  /// emitting a `quality.*` metric time-series; the probe draws from its
+  /// own fixed-seed Rng, so training is byte-identical with probes on.
   Status TrainOnLatents(const Matrix& latents, int steps, int batch_size,
-                        Rng* rng);
+                        Rng* rng,
+                        const obs::health::QualityProbe* probe = nullptr);
 
   /// Samples `num_rows` synthetic latents with `inference_steps` denoising
   /// steps (Algorithm 2, lines 3-4), de-standardized to the client scale.

@@ -73,6 +73,12 @@ Status E2EDistrSynthesizer::Fit(const Table& data, Rng* rng) {
   obs::ContextSpan train_span("e2e_distr.train");
   obs::TrainLoopTelemetry telemetry(
       "e2e_distr.train", std::min(config_.batch_size, data.num_rows()));
+  // One watched group per silo (abort messages then name the silo) plus the
+  // shared diffusion backbone on the coordinator.
+  for (auto& client : clients_) {
+    telemetry.WatchHealth(client->autoencoder()->Parameters(), client->id());
+  }
+  telemetry.WatchHealth(backbone_->Parameters());
   double recon = 0.0, diff = 0.0;
   const int64_t bytes_before_first = channel_.total_bytes();
   for (int s = 0; s < steps; ++s) {
@@ -80,9 +86,10 @@ Status E2EDistrSynthesizer::Fit(const Table& data, Rng* rng) {
         data.num_rows(), std::min(config_.batch_size, data.num_rows()), rng);
     SF_ASSIGN_OR_RETURN(auto losses, TrainIteration(rows, rng));
     const auto [r, d] = losses;
-    recon = 0.95 * recon + 0.05 * r;
-    diff = 0.95 * diff + 0.05 * d;
-    telemetry.Step({{"recon_loss", recon}, {"diffusion_loss", diff}});
+    recon = s == 0 ? r : 0.95 * recon + 0.05 * r;
+    diff = s == 0 ? d : 0.95 * diff + 0.05 * d;
+    SF_RETURN_NOT_OK(
+        telemetry.Step({{"recon_loss", recon}, {"diffusion_loss", diff}}));
     if (s == 0) bytes_per_round_ = channel_.total_bytes() - bytes_before_first;
   }
   SF_LOG(Debug) << "E2EDistr losses: recon " << recon << " diffusion " << diff;

@@ -104,6 +104,7 @@ Result<double> VflClassifier::Train(const std::vector<Table>& parts,
   SF_TRACE_SPAN("vfl.train");
   obs::TrainLoopTelemetry telemetry("vfl.train",
                                     std::min(config_.batch_size, rows));
+  telemetry.WatchHealth(optimizer_->params());
   const int e_dim = config_.embedding_dim;
   double running = 0.0;
   for (int s = 0; s < config_.train_steps; ++s) {
@@ -125,7 +126,7 @@ Result<double> VflClassifier::Train(const std::vector<Table>& parts,
     const double loss =
         SoftmaxCrossEntropyLoss(logits, one_hot.GatherRows(idx), &grad);
     running = (s == 0) ? loss : 0.95 * running + 0.05 * loss;
-    telemetry.Step({{"loss", running}});
+    SF_RETURN_NOT_OK(telemetry.Step({{"loss", running}}));
     optimizer_->ZeroGrad();
     Matrix grad_joint = server_head_.Backward(grad);
     // Server ships each client its embedding gradient slice.

@@ -102,6 +102,24 @@ Result<double> PropensityScore(const Table& real, const Table& synth,
 
 }  // namespace
 
+Result<ResemblanceBreakdown> ComputeResemblanceQuick(const Table& real,
+                                                     const Table& synth) {
+  if (!(real.schema() == synth.schema())) {
+    return Status::InvalidArgument("real/synthetic schema mismatch");
+  }
+  if (real.num_rows() < 10 || synth.num_rows() < 10) {
+    return Status::InvalidArgument("need at least 10 rows per table");
+  }
+  ResemblanceBreakdown out;
+  out.column_similarity = 100.0 * ColumnSimilarity(real, synth);
+  out.jensen_shannon = 100.0 * JsSimilarity(real, synth);
+  out.kolmogorov_smirnov = 100.0 * KsSimilarity(real, synth);
+  out.overall = (out.column_similarity + out.jensen_shannon +
+                 out.kolmogorov_smirnov) /
+                3.0;
+  return out;
+}
+
 Result<ResemblanceBreakdown> ComputeResemblance(const Table& real,
                                                 const Table& synth, Rng* rng) {
   if (!(real.schema() == synth.schema())) {

@@ -49,6 +49,8 @@ void TabularAutoencoder::BuildNetworks(Rng* rng) {
   };
   build(&encoder_, in_dim, latent_dim_);
   build(&decoder_, latent_dim_, head_width_);
+  PrefixParameterNames(encoder_.Parameters(), "encoder.");
+  PrefixParameterNames(decoder_.Parameters(), "decoder.");
   optimizer_ = std::make_unique<Adam>(Parameters(), config_.lr);
 }
 
@@ -209,18 +211,24 @@ double TabularAutoencoder::TrainStep(const Matrix& x_encoded) {
   return loss;
 }
 
-double TabularAutoencoder::Train(const Table& data, int steps, int batch_size,
-                                 Rng* rng) {
+Result<double> TabularAutoencoder::Train(const Table& data, int steps,
+                                         int batch_size, Rng* rng,
+                                         int silo_id) {
   SF_TRACE_SPAN("ae.train");
   SF_CHECK_GT(steps, 0);
   const Matrix all = mixed_encoder_.Encode(data);
   const int batch = std::min(batch_size, all.rows());
   obs::TrainLoopTelemetry telemetry("ae.train", batch);
+  telemetry.WatchHealth(Parameters(), silo_id);
   double running = 0.0;
   for (int s = 0; s < steps; ++s) {
     const std::vector<int> idx = SampleBatchIndices(all.rows(), batch, rng);
-    running = 0.95 * running + 0.05 * TrainStep(all.GatherRows(idx));
-    telemetry.Step({{"running_loss", running}});
+    const double loss = TrainStep(all.GatherRows(idx));
+    // Seed the running EMA with the first loss: a 0-init EMA ramps up over
+    // the first decades of steps, which the health watchdog would misread
+    // as divergence.
+    running = s == 0 ? loss : 0.95 * running + 0.05 * loss;
+    SF_RETURN_NOT_OK(telemetry.Step({{"running_loss", running}}));
   }
   return running;
 }

@@ -43,9 +43,13 @@ class TabularAutoencoder {
   /// One minibatch NLL update on pre-encoded inputs; returns the loss.
   double TrainStep(const Matrix& x_encoded);
 
-  /// Convenience: trains for `steps` minibatches on `data`; returns the
-  /// final running loss.
-  double Train(const Table& data, int steps, int batch_size, Rng* rng);
+  /// Convenience: trains for `steps` minibatches on `data` under the
+  /// training-health watchdog; returns the final running loss, or
+  /// kFailedPrecondition if the watchdog aborts (NaN loss/gradients or EMA
+  /// divergence). `silo_id` >= 0 scopes health metrics and abort messages
+  /// to the owning silo.
+  Result<double> Train(const Table& data, int steps, int batch_size, Rng* rng,
+                       int silo_id = -1);
 
   /// Encodes a table into latents Z_i = E_i(X_i).
   Matrix EncodeTable(const Table& table) const;

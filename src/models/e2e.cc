@@ -33,14 +33,16 @@ Status E2ESynthesizer::Fit(const Table& data, Rng* rng) {
   SF_TRACE_SPAN("e2e.train");
   obs::TrainLoopTelemetry telemetry("e2e.train",
                                     std::min(config_.batch_size, all.rows()));
+  telemetry.WatchHealth(joint_optimizer_->params());
   double recon = 0.0, diff = 0.0;
   for (int s = 0; s < steps; ++s) {
     const std::vector<int> idx = SampleBatchIndices(
         all.rows(), std::min(config_.batch_size, all.rows()), rng);
     auto [r, d] = TrainStep(all.GatherRows(idx), rng);
-    recon = 0.95 * recon + 0.05 * r;
-    diff = 0.95 * diff + 0.05 * d;
-    telemetry.Step({{"recon_loss", recon}, {"diffusion_loss", diff}});
+    recon = s == 0 ? r : 0.95 * recon + 0.05 * r;
+    diff = s == 0 ? d : 0.95 * diff + 0.05 * d;
+    SF_RETURN_NOT_OK(
+        telemetry.Step({{"recon_loss", recon}, {"diffusion_loss", diff}}));
   }
   SF_LOG(Debug) << "E2E losses: recon " << recon << " diffusion " << diff;
   fitted_ = true;

@@ -114,6 +114,8 @@ void GanSynthesizer::BuildNetworks(int width, Rng* rng) {
     discriminator_.Emplace<Linear>(h, 1, rng);
   }
   generator_.Emplace<TabularActivation>(encoder_.spans());
+  PrefixParameterNames(generator_.Parameters(), "generator.");
+  PrefixParameterNames(discriminator_.Parameters(), "discriminator.");
   g_optimizer_ = std::make_unique<Adam>(generator_.Parameters(), config_.lr,
                                         0.5f, 0.999f);
   d_optimizer_ = std::make_unique<Adam>(discriminator_.Parameters(), config_.lr,
@@ -130,14 +132,16 @@ Status GanSynthesizer::Fit(const Table& data, Rng* rng) {
   SF_TRACE_SPAN("gan.train");
   obs::TrainLoopTelemetry telemetry("gan.train",
                                     std::min(config_.batch_size, all.rows()));
+  telemetry.WatchHealth(generator_.Parameters());
+  telemetry.WatchHealth(discriminator_.Parameters());
   double d_loss = 0.0, g_loss = 0.0;
   for (int s = 0; s < config_.train_steps; ++s) {
     const std::vector<int> idx = SampleBatchIndices(
         all.rows(), std::min(config_.batch_size, all.rows()), rng);
     auto [d, g] = TrainStep(all.GatherRows(idx), rng);
-    d_loss = 0.95 * d_loss + 0.05 * d;
-    g_loss = 0.95 * g_loss + 0.05 * g;
-    telemetry.Step({{"d_loss", d_loss}, {"g_loss", g_loss}});
+    d_loss = s == 0 ? d : 0.95 * d_loss + 0.05 * d;
+    g_loss = s == 0 ? g : 0.95 * g_loss + 0.05 * g;
+    SF_RETURN_NOT_OK(telemetry.Step({{"d_loss", d_loss}, {"g_loss", g_loss}}));
   }
   SF_LOG(Debug) << name() << " losses: D " << d_loss << " G " << g_loss;
   fitted_ = true;

@@ -37,6 +37,8 @@ class TabularActivation : public Module {
   explicit TabularActivation(std::vector<FeatureSpan> spans)
       : spans_(std::move(spans)) {}
 
+  const char* TypeName() const override { return "tabular_activation"; }
+
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
 

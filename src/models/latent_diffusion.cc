@@ -1,7 +1,10 @@
 #include "models/latent_diffusion.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "data/split.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -15,8 +18,9 @@ Status LatentDiffSynthesizer::Fit(const Table& data, Rng* rng) {
   // Step 1: train the autoencoder (stacked, Eq. 4).
   SF_ASSIGN_OR_RETURN(autoencoder_,
                       TabularAutoencoder::Create(data, config_.autoencoder, rng));
-  const double ae_loss = autoencoder_->Train(data, config_.autoencoder_steps,
-                                             config_.batch_size, rng);
+  SF_ASSIGN_OR_RETURN(const double ae_loss,
+                      autoencoder_->Train(data, config_.autoencoder_steps,
+                                          config_.batch_size, rng));
   SF_LOG(Debug) << name() << ": autoencoder loss " << ae_loss;
 
   // Step 2: encode once, standardize, train the DDPM on latents (Eq. 5).
@@ -30,12 +34,39 @@ Status LatentDiffSynthesizer::Fit(const Table& data, Rng* rng) {
   diffusion_ = std::make_unique<GaussianDdpm>(ddpm_config, rng);
   obs::TrainLoopTelemetry telemetry("latentdiff.train",
                                     std::min(config_.batch_size, z0.rows()));
+  telemetry.WatchHealth(diffusion_->Parameters());
+
+  // Optional mid-training quality probes (see LatentDiffusionConfig): the
+  // probe samples latents from the half-trained backbone, decodes through
+  // the frozen autoencoder, and scores against the training table. Probes
+  // draw from their own fixed-seed Rng, so training is byte-identical.
+  obs::health::QualityProbe probe;
+  if (config_.quality_probe_every > 0) {
+    probe.every_steps = config_.quality_probe_every;
+    probe.rows =
+        std::max(1, std::min(config_.quality_probe_rows, data.num_rows()));
+    probe.reference = &data;
+    probe.prefix = "quality.latentdiff";
+    probe.synthesize = [this](int rows, Rng* probe_rng) -> Result<Table> {
+      SF_ASSIGN_OR_RETURN(
+          Matrix latent_sample,
+          SampleLatents(rows, config_.inference_steps, probe_rng));
+      return autoencoder_->DecodeToTable(latent_sample, probe_rng,
+                                         /*sample=*/true);
+    };
+  }
+  obs::health::QualityProbeRunner probe_runner(probe);
+
   double running = 0.0;
   for (int s = 0; s < config_.diffusion_train_steps; ++s) {
     const std::vector<int> idx = SampleBatchIndices(
         z0.rows(), std::min(config_.batch_size, z0.rows()), rng);
-    running = 0.95 * running + 0.05 * diffusion_->TrainStep(z0.GatherRows(idx), rng);
-    telemetry.Step({{"diffusion_loss", running}});
+    const double loss = diffusion_->TrainStep(z0.GatherRows(idx), rng);
+    running = s == 0 ? loss : 0.95 * running + 0.05 * loss;
+    SF_RETURN_NOT_OK(telemetry.Step({{"diffusion_loss", running}}));
+    // Probes run between optimizer steps only: the next TrainStep
+    // re-establishes the layer caches its Backward needs.
+    SF_RETURN_NOT_OK(probe_runner.MaybeRun(s + 1));
   }
   SF_LOG(Debug) << name() << ": diffusion loss " << running;
   return Status::OK();

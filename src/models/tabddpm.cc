@@ -42,20 +42,23 @@ Status TabDdpmSynthesizer::Fit(const Table& data, Rng* rng) {
     backbone_.Emplace<Gelu>();
   }
   backbone_.Emplace<Linear>(config_.hidden_dim, width, rng);
+  PrefixParameterNames(backbone_.Parameters(), "backbone.");
   optimizer_ = std::make_unique<Adam>(backbone_.Parameters(), config_.lr);
 
   const Matrix all = encoder_.Encode(data);
   SF_TRACE_SPAN("tabddpm.train");
   obs::TrainLoopTelemetry telemetry("tabddpm.train",
                                     std::min(config_.batch_size, all.rows()));
+  telemetry.WatchHealth(backbone_.Parameters());
   double g_loss = 0.0, m_loss = 0.0;
   for (int s = 0; s < config_.train_steps; ++s) {
     const std::vector<int> idx = SampleBatchIndices(
         all.rows(), std::min(config_.batch_size, all.rows()), rng);
     auto [g, m] = TrainStep(all.GatherRows(idx), rng);
-    g_loss = 0.95 * g_loss + 0.05 * g;
-    m_loss = 0.95 * m_loss + 0.05 * m;
-    telemetry.Step({{"gaussian_loss", g_loss}, {"multinomial_loss", m_loss}});
+    g_loss = s == 0 ? g : 0.95 * g_loss + 0.05 * g;
+    m_loss = s == 0 ? m : 0.95 * m_loss + 0.05 * m;
+    SF_RETURN_NOT_OK(telemetry.Step(
+        {{"gaussian_loss", g_loss}, {"multinomial_loss", m_loss}}));
   }
   SF_LOG(Debug) << "TabDDPM losses: gaussian " << g_loss << " multinomial "
                 << m_loss;

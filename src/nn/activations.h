@@ -9,6 +9,7 @@ namespace silofuse {
 /// diffusion backbone).
 class Gelu : public Module {
  public:
+  const char* TypeName() const override { return "gelu"; }
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
 
@@ -18,6 +19,7 @@ class Gelu : public Module {
 
 class Relu : public Module {
  public:
+  const char* TypeName() const override { return "relu"; }
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
 
@@ -30,6 +32,8 @@ class LeakyRelu : public Module {
  public:
   explicit LeakyRelu(float negative_slope = 0.2f) : slope_(negative_slope) {}
 
+  const char* TypeName() const override { return "leaky_relu"; }
+
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
 
@@ -40,6 +44,7 @@ class LeakyRelu : public Module {
 
 class Tanh : public Module {
  public:
+  const char* TypeName() const override { return "tanh"; }
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
 
@@ -49,6 +54,7 @@ class Tanh : public Module {
 
 class Sigmoid : public Module {
  public:
+  const char* TypeName() const override { return "sigmoid"; }
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
 

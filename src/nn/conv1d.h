@@ -19,6 +19,8 @@ class Conv1D : public Module {
   Conv1D(int in_channels, int out_channels, int length, int kernel_size,
          int stride, int padding, Rng* rng);
 
+  const char* TypeName() const override { return "conv1d"; }
+
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override;
@@ -46,6 +48,8 @@ class ConvTranspose1D : public Module {
  public:
   ConvTranspose1D(int in_channels, int out_channels, int length,
                   int kernel_size, int stride, int padding, Rng* rng);
+
+  const char* TypeName() const override { return "conv_transpose1d"; }
 
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;

@@ -12,6 +12,8 @@ class Dropout : public Module {
  public:
   Dropout(float p, Rng* rng);
 
+  const char* TypeName() const override { return "dropout"; }
+
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
 

@@ -13,6 +13,8 @@ class LayerNorm : public Module {
  public:
   explicit LayerNorm(int features, float eps = 1e-5f);
 
+  const char* TypeName() const override { return "layer_norm"; }
+
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override;

@@ -16,6 +16,8 @@ class Linear : public Module {
  public:
   Linear(int in_features, int out_features, Rng* rng, bool bias = true);
 
+  const char* TypeName() const override { return "linear"; }
+
   Matrix Forward(const Matrix& input, bool training) override;
   Matrix Backward(const Matrix& grad_output) override;
   std::vector<Parameter*> Parameters() override;

@@ -15,6 +15,21 @@ namespace {
 constexpr int64_t kLossParallelThreshold = int64_t{1} << 14;
 constexpr int64_t kLossGrain = int64_t{1} << 13;
 
+// Guards for exploding networks. Logits past this magnitude (or non-finite)
+// are clamped before entering the BCE algebra, and per-class log-probs are
+// floored here in cross-entropy, so a diverging discriminator produces a
+// large-but-finite loss the watchdog can act on instead of NaN/Inf.
+// Both bounds are far outside anything a healthy run produces, so healthy
+// losses are bit-identical with the guards in place.
+constexpr double kLogitClamp = 1e6;
+constexpr double kLogProbFloor = -100.0;
+
+double ClampLogit(double x) {
+  if (x > kLogitClamp) return kLogitClamp;   // also catches +inf
+  if (x < -kLogitClamp) return -kLogitClamp; // also catches -inf
+  return std::isnan(x) ? 0.0 : x;
+}
+
 }  // namespace
 
 double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
@@ -55,7 +70,7 @@ double BceWithLogitsLoss(const Matrix& logits, const Matrix& targets,
   const float inv_n = 1.0f / static_cast<float>(n);
   for (size_t i = 0; i < n; ++i) {
     // loss = max(x,0) - x*y + log(1 + exp(-|x|)).
-    const double xv = x[i];
+    const double xv = ClampLogit(x[i]);
     const double yv = y[i];
     loss += std::max(xv, 0.0) - xv * yv + std::log1p(std::exp(-std::abs(xv)));
     const double sig = 1.0 / (1.0 + std::exp(-xv));
@@ -121,7 +136,11 @@ double SoftmaxCrossEntropyLoss(const Matrix& logits, const Matrix& targets,
   for (int r = 0; r < logits.rows(); ++r) {
     const float* lp = log_probs.row_data(r);
     const float* t = targets.row_data(r);
-    for (int c = 0; c < logits.cols(); ++c) loss -= t[c] * lp[c];
+    for (int c = 0; c < logits.cols(); ++c) {
+      // Floor the log-prob: a class driven to (near-)zero probability by
+      // extreme logits would otherwise contribute -t * log(0) = inf/NaN.
+      loss -= t[c] * std::max(static_cast<double>(lp[c]), kLogProbFloor);
+    }
   }
   loss /= logits.rows();
   *grad = probs.Sub(targets);

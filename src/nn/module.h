@@ -38,6 +38,11 @@ class Module {
   Module(const Module&) = delete;
   Module& operator=(const Module&) = delete;
 
+  /// Lowercase layer-kind slug ("linear", "layer_norm", ...) used by
+  /// containers to build stable fully-qualified parameter names such as
+  /// "encoder.linear0.weight".
+  virtual const char* TypeName() const { return "module"; }
+
   /// Computes the layer output. `training` toggles stochastic behaviour
   /// (dropout); inference passes must use training=false.
   virtual Matrix Forward(const Matrix& input, bool training) = 0;
@@ -63,6 +68,16 @@ class Module {
     return count;
   }
 };
+
+/// Prepends `prefix` to every parameter's name. Containers call this once,
+/// at build time, so each parameter ends up with a stable fully-qualified
+/// name ("encoder.linear0.weight") no matter how deep the nesting. Prefixing
+/// never changes parameter order, so checkpoints (which save by order) are
+/// unaffected.
+inline void PrefixParameterNames(const std::vector<Parameter*>& params,
+                                 const std::string& prefix) {
+  for (Parameter* p : params) p->name = prefix + p->name;
+}
 
 }  // namespace silofuse
 

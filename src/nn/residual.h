@@ -19,6 +19,8 @@ class Residual : public Module {
     SF_CHECK(inner_ != nullptr);
   }
 
+  const char* TypeName() const override { return "residual"; }
+
   Matrix Forward(const Matrix& input, bool training) override {
     Matrix out = inner_->Forward(input, training);
     out.AddInPlace(input);

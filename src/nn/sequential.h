@@ -1,7 +1,9 @@
 #ifndef SILOFUSE_NN_SEQUENTIAL_H_
 #define SILOFUSE_NN_SEQUENTIAL_H_
 
+#include <map>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -14,18 +16,26 @@ class Sequential : public Module {
  public:
   Sequential() = default;
 
-  /// Appends a module; returns *this for fluent construction.
+  const char* TypeName() const override { return "sequential"; }
+
+  /// Appends a module; returns *this for fluent construction. The added
+  /// module's parameters are prefixed "<type><k>." where k counts modules
+  /// of the same type already added ("linear0.weight", "linear1.bias", ...)
+  /// — parameter-free layers interleaved between them (activations, dropout)
+  /// never shift the indices of the layers that matter.
   Sequential& Add(std::unique_ptr<Module> module) {
     SF_CHECK(module != nullptr);
+    const std::string type = module->TypeName();
+    const std::string prefix = type + std::to_string(type_counts_[type]++) + ".";
+    PrefixParameterNames(module->Parameters(), prefix);
     modules_.push_back(std::move(module));
     return *this;
   }
 
-  /// Convenience: constructs M in place.
+  /// Convenience: constructs M in place (prefixes names like Add).
   template <typename M, typename... Args>
   Sequential& Emplace(Args&&... args) {
-    modules_.push_back(std::make_unique<M>(std::forward<Args>(args)...));
-    return *this;
+    return Add(std::make_unique<M>(std::forward<Args>(args)...));
   }
 
   Matrix Forward(const Matrix& input, bool training) override {
@@ -51,13 +61,17 @@ class Sequential : public Module {
   }
 
   /// Removes all modules (used when a synthesizer is re-fit).
-  void Clear() { modules_.clear(); }
+  void Clear() {
+    modules_.clear();
+    type_counts_.clear();
+  }
 
   size_t size() const { return modules_.size(); }
   Module* module(size_t i) { return modules_.at(i).get(); }
 
  private:
   std::vector<std::unique_ptr<Module>> modules_;
+  std::map<std::string, int> type_counts_;
 };
 
 }  // namespace silofuse

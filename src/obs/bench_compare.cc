@@ -46,6 +46,16 @@ bool TimeLikeKey(const std::string& key) {
   return ends_with("_ms") || ends_with("_us") || ends_with("_ns");
 }
 
+bool MemLikeKey(const std::string& key) {
+  const size_t bracket = key.rfind('[');
+  const std::string stem = bracket == std::string::npos
+                               ? key
+                               : key.substr(0, bracket);
+  constexpr const char* kSuffix = "_bytes";
+  const size_t n = std::char_traits<char>::length(kSuffix);
+  return stem.size() >= n && stem.compare(stem.size() - n, n, kSuffix) == 0;
+}
+
 }  // namespace
 
 std::vector<std::pair<std::string, double>> FlattenNumericLeaves(
@@ -75,7 +85,10 @@ CompareReport CompareBenchJson(const json::Value& baseline,
     }
   }
   for (const auto& [key, base] : base_values) {
-    const bool gated = !options.gate_time_keys_only || TimeLikeKey(key);
+    const bool time_like = TimeLikeKey(key);
+    const bool mem_like = !time_like && MemLikeKey(key);
+    const bool gated =
+        !options.gate_time_keys_only || time_like || mem_like;
     auto it = current_values.find(key);
     if (it == current_values.end()) {
       if (gated) report.missing_in_current.push_back(key);
@@ -88,9 +101,13 @@ CompareReport CompareBenchJson(const json::Value& baseline,
     entry.ratio = base == 0.0 ? 0.0 : entry.current / base;
     entry.gated = gated;
     if (gated) {
-      const double rel_limit = base * (1.0 + options.rel_slack);
-      entry.regressed = entry.current > rel_limit &&
-                        entry.current - base > options.abs_slack_ms;
+      if (mem_like) {
+        entry.regressed = entry.current - base > options.abs_slack_bytes;
+      } else {
+        const double rel_limit = base * (1.0 + options.rel_slack);
+        entry.regressed = entry.current > rel_limit &&
+                          entry.current - base > options.abs_slack_ms;
+      }
       entry.hard = entry.regressed && base > 0.0 &&
                    entry.ratio > options.hard_factor;
     }

@@ -19,8 +19,13 @@ struct CompareOptions {
   double rel_slack = 0.15;
   double abs_slack_ms = 0.5;
   double hard_factor = 2.0;
-  /// Only keys with a time-like suffix (_ms, _us, _ns) are gated; counters
-  /// and speedup ratios pass through as informational rows.
+  /// Memory keys (suffix _bytes) are gated on absolute growth only: byte
+  /// counts are deterministic, so relative slack would let small buffers
+  /// grow unboundedly while flagging noise-free 1-byte deltas on big ones.
+  double abs_slack_bytes = 1 << 20;  // 1 MiB
+  /// Only keys with a time-like suffix (_ms, _us, _ns) or the memory suffix
+  /// (_bytes) are gated; counters and speedup ratios pass through as
+  /// informational rows.
   bool gate_time_keys_only = true;
 };
 

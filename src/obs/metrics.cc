@@ -9,7 +9,9 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/health.h"
 #include "obs/trace.h"
+#include "tensor/mem_stats.h"
 
 namespace silofuse {
 namespace obs {
@@ -326,7 +328,15 @@ TrainLoopTelemetry::TrainLoopTelemetry(const std::string& prefix,
       start_(std::chrono::steady_clock::now()),
       step_counter_(MetricsRegistry::Global().GetCounter(prefix + ".steps")) {}
 
-void TrainLoopTelemetry::Step(
+void TrainLoopTelemetry::WatchHealth(std::vector<Parameter*> params,
+                                     int silo_id) {
+  if (monitor_ == nullptr) {
+    monitor_ = std::make_unique<health::TrainingMonitor>(prefix_);
+  }
+  monitor_->Watch(std::move(params), silo_id);
+}
+
+Status TrainLoopTelemetry::Step(
     std::initializer_list<std::pair<const char*, double>> values) {
   for (const auto& [key, value] : values) {
     auto it = gauges_.find(key);
@@ -340,6 +350,13 @@ void TrainLoopTelemetry::Step(
   }
   step_counter_->Increment();
   ++steps_;
+  if (monitor_ != nullptr && monitor_->enabled()) {
+    std::vector<std::pair<std::string, double>> losses;
+    losses.reserve(values.size());
+    for (const auto& [key, value] : values) losses.emplace_back(key, value);
+    return monitor_->OnStep(steps_, losses);
+  }
+  return Status::OK();
 }
 
 TrainLoopTelemetry::~TrainLoopTelemetry() {
@@ -400,6 +417,15 @@ int InitTelemetryFromArgs(int argc, char** argv) {
 void ReinitTelemetryFromEnv() { ApplyEnv(); }
 
 void FlushTelemetry() {
+  if (memstats::Enabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetGauge("mem.matrix.live_bytes")
+        ->Set(static_cast<double>(memstats::LiveBytes()));
+    registry.GetGauge("mem.matrix.peak_bytes")
+        ->Set(static_cast<double>(memstats::PeakBytes()));
+    registry.GetGauge("mem.matrix.allocs")
+        ->Set(static_cast<double>(memstats::AllocCount()));
+  }
   const std::string metrics_path = MetricsExportPath();
   if (!metrics_path.empty()) {
     if (Status s = WriteMetricsJson(metrics_path); !s.ok()) {

@@ -15,7 +15,14 @@
 #include "common/status.h"
 
 namespace silofuse {
+
+struct Parameter;  // nn/module.h
+
 namespace obs {
+
+namespace health {
+class TrainingMonitor;  // obs/health.h
+}  // namespace health
 
 /// Number of cache-line-padded shards behind every counter/histogram.
 /// Writers are spread round-robin by thread, so concurrent increments from
@@ -173,6 +180,13 @@ class MetricsRegistry {
 /// counter "<prefix>.steps" advances. Destruction sets
 /// "<prefix>.examples_per_sec" from the measured wall time, giving every
 /// model's Fit the same per-epoch loss/throughput story for free.
+///
+/// WatchHealth() attaches the training-health watchdog (obs/health.h):
+/// Step() then also feeds the reported losses through NaN/divergence
+/// detection and walks the watched parameters every SILOFUSE_HEALTH_EVERY
+/// steps, returning kFailedPrecondition when training has gone off the
+/// rails — which is why Step() returns Status. Callers that never call
+/// WatchHealth always get OK.
 class TrainLoopTelemetry {
  public:
   TrainLoopTelemetry(const std::string& prefix, int batch_size);
@@ -181,7 +195,13 @@ class TrainLoopTelemetry {
   TrainLoopTelemetry(const TrainLoopTelemetry&) = delete;
   TrainLoopTelemetry& operator=(const TrainLoopTelemetry&) = delete;
 
-  void Step(std::initializer_list<std::pair<const char*, double>> values);
+  /// Registers parameters with the health monitor (created lazily from
+  /// SILOFUSE_HEALTH* on first call). May be called once per silo with
+  /// that silo's parameter group; `silo_id` >= 0 is named in metrics and
+  /// abort messages. Pointers are borrowed and must outlive the loop.
+  void WatchHealth(std::vector<Parameter*> params, int silo_id = -1);
+
+  Status Step(std::initializer_list<std::pair<const char*, double>> values);
 
  private:
   std::string prefix_;
@@ -190,6 +210,7 @@ class TrainLoopTelemetry {
   std::chrono::steady_clock::time_point start_;
   Counter* step_counter_;
   std::map<std::string, Gauge*> gauges_;  // lazily resolved per key
+  std::unique_ptr<health::TrainingMonitor> monitor_;  // null until watched
 };
 
 /// Writes MetricsRegistry::Global().Snapshot() as JSON to `path`.

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iomanip>
 #include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -62,6 +65,8 @@ ProfileReport BuildProfile(const std::vector<TraceEvent>& events) {
   for (size_t i = 0; i < events.size(); ++i) {
     if (events[i].phase == 'X') {
       by_tid[events[i].tid].push_back(i);
+    } else if (events[i].phase == 'C') {
+      ++report.total_counter_events;
     } else {
       ++report.total_flow_events;
     }
@@ -211,6 +216,211 @@ void AppendHotspotsMarkdown(std::ostringstream& out,
   out << "\n";
 }
 
+// ---- Training health (health.* / quality.* gauges) ------------------------
+
+struct HealthLayerRow {
+  std::string trainer;  // "<prefix>[.silo<k>]"
+  std::string layer;    // fully-qualified parameter name
+  double grad_norm = 0.0;
+  double value_norm = 0.0;
+  double nonfinite = 0.0;  // grad + value non-finite element count
+};
+
+struct HealthWatchdogRow {
+  std::string trainer;
+  bool aborted = false;
+  int64_t abort_step = 0;
+};
+
+struct QualityPoint {
+  int index = 0;
+  int64_t step = 0;
+  double overall = 0.0;
+};
+
+struct QualitySeriesRow {
+  std::string scope;  // e.g. "coordinator", "latentdiff"
+  std::vector<QualityPoint> points;
+  double latest_overall = 0.0;
+};
+
+struct TrainingHealthSummary {
+  std::vector<HealthWatchdogRow> watchdogs;
+  std::vector<HealthLayerRow> worst_layers;  // sorted by grad_norm desc
+  std::vector<QualitySeriesRow> quality;
+  bool any() const {
+    return !watchdogs.empty() || !worst_layers.empty() || !quality.empty();
+  }
+};
+
+double GaugeOr(const MetricsSnapshot& metrics, const std::string& key,
+               double fallback) {
+  auto it = metrics.gauges.find(key);
+  return it == metrics.gauges.end() ? fallback : it->second;
+}
+
+TrainingHealthSummary SummarizeTrainingHealth(const MetricsSnapshot& metrics) {
+  TrainingHealthSummary summary;
+  std::map<std::string, QualitySeriesRow> quality;
+  // Every monitored trainer leaves a `.last_stats_step` or `.watchdog.ema.*`
+  // gauge; trainers in this set with no `.watchdog.aborted` gauge get an
+  // explicit "healthy" verdict row.
+  std::set<std::string> monitored;
+  for (const auto& [key, value] : metrics.gauges) {
+    // health.<trainer>.layer.<param>.grad_norm anchors one layer row; its
+    // sibling gauges are looked up by suffix swap.
+    constexpr const char* kHealth = "health.";
+    constexpr const char* kGradNorm = ".grad_norm";
+    if (key.rfind(kHealth, 0) == 0 && key.size() > std::strlen(kGradNorm) &&
+        key.compare(key.size() - std::strlen(kGradNorm),
+                    std::strlen(kGradNorm), kGradNorm) == 0) {
+      const size_t layer_pos = key.find(".layer.");
+      if (layer_pos == std::string::npos) continue;
+      const std::string base =
+          key.substr(0, key.size() - std::strlen(kGradNorm));
+      HealthLayerRow row;
+      row.trainer = key.substr(std::strlen(kHealth),
+                               layer_pos - std::strlen(kHealth));
+      row.layer = base.substr(layer_pos + std::strlen(".layer."));
+      row.grad_norm = value;
+      row.value_norm = GaugeOr(metrics, base + ".value_norm", 0.0);
+      row.nonfinite = GaugeOr(metrics, base + ".grad_nonfinite", 0.0) +
+                      GaugeOr(metrics, base + ".value_nonfinite", 0.0);
+      summary.worst_layers.push_back(std::move(row));
+      continue;
+    }
+    constexpr const char* kAborted = ".watchdog.aborted";
+    if (key.rfind(kHealth, 0) == 0 && key.size() > std::strlen(kAborted) &&
+        key.compare(key.size() - std::strlen(kAborted), std::strlen(kAborted),
+                    kAborted) == 0) {
+      HealthWatchdogRow row;
+      row.trainer = key.substr(
+          std::strlen(kHealth),
+          key.size() - std::strlen(kHealth) - std::strlen(kAborted));
+      row.aborted = value != 0.0;
+      row.abort_step = static_cast<int64_t>(GaugeOr(
+          metrics,
+          std::string(kHealth) + row.trainer + ".watchdog.abort_step", 0.0));
+      summary.watchdogs.push_back(std::move(row));
+      continue;
+    }
+    constexpr const char* kLastStats = ".last_stats_step";
+    if (key.rfind(kHealth, 0) == 0 && key.size() > std::strlen(kLastStats) &&
+        key.compare(key.size() - std::strlen(kLastStats),
+                    std::strlen(kLastStats), kLastStats) == 0) {
+      monitored.insert(key.substr(
+          std::strlen(kHealth),
+          key.size() - std::strlen(kHealth) - std::strlen(kLastStats)));
+      continue;
+    }
+    constexpr const char* kEma = ".watchdog.ema.";
+    if (const size_t ema_pos = key.find(kEma);
+        key.rfind(kHealth, 0) == 0 && ema_pos != std::string::npos) {
+      monitored.insert(
+          key.substr(std::strlen(kHealth), ema_pos - std::strlen(kHealth)));
+      continue;
+    }
+    // quality.<scope>.series.<k>.overall (+ .step) is the probe trajectory.
+    constexpr const char* kQuality = "quality.";
+    constexpr const char* kOverall = ".overall";
+    const size_t series_pos = key.find(".series.");
+    if (key.rfind(kQuality, 0) == 0 && series_pos != std::string::npos &&
+        key.size() > std::strlen(kOverall) &&
+        key.compare(key.size() - std::strlen(kOverall), std::strlen(kOverall),
+                    kOverall) == 0) {
+      const std::string scope =
+          key.substr(std::strlen(kQuality), series_pos - std::strlen(kQuality));
+      const std::string base = key.substr(0, key.size() - std::strlen(kOverall));
+      QualityPoint point;
+      point.index = std::atoi(base.c_str() + series_pos + std::strlen(".series."));
+      point.step = static_cast<int64_t>(GaugeOr(metrics, base + ".step", 0.0));
+      point.overall = value;
+      quality[scope].points.push_back(point);
+    }
+  }
+  for (const HealthWatchdogRow& w : summary.watchdogs) {
+    monitored.erase(w.trainer);
+  }
+  for (const std::string& trainer : monitored) {
+    HealthWatchdogRow row;
+    row.trainer = trainer;
+    summary.watchdogs.push_back(std::move(row));
+  }
+  std::sort(summary.watchdogs.begin(), summary.watchdogs.end(),
+            [](const HealthWatchdogRow& a, const HealthWatchdogRow& b) {
+              return a.trainer < b.trainer;
+            });
+  std::sort(summary.worst_layers.begin(), summary.worst_layers.end(),
+            [](const HealthLayerRow& a, const HealthLayerRow& b) {
+              if (a.grad_norm != b.grad_norm) return a.grad_norm > b.grad_norm;
+              return std::tie(a.trainer, a.layer) < std::tie(b.trainer, b.layer);
+            });
+  for (auto& [scope, row] : quality) {
+    row.scope = scope;
+    std::sort(row.points.begin(), row.points.end(),
+              [](const QualityPoint& a, const QualityPoint& b) {
+                return a.index < b.index;
+              });
+    row.latest_overall =
+        GaugeOr(metrics, std::string("quality.") + scope + ".overall", 0.0);
+    summary.quality.push_back(std::move(row));
+  }
+  return summary;
+}
+
+void AppendTrainingHealthMarkdown(std::ostringstream& out,
+                                  const MetricsSnapshot& metrics) {
+  const TrainingHealthSummary health = SummarizeTrainingHealth(metrics);
+  if (!health.any()) return;
+  out << "## Training health\n\n";
+  if (!health.watchdogs.empty()) {
+    out << "| trainer | watchdog verdict | abort step |\n"
+        << "|---------|------------------|-----------:|\n";
+    for (const HealthWatchdogRow& w : health.watchdogs) {
+      out << "| " << w.trainer << " | "
+          << (w.aborted ? "ABORTED (divergence/NaN)" : "healthy") << " | ";
+      if (w.aborted) {
+        out << w.abort_step;
+      } else {
+        out << "-";
+      }
+      out << " |\n";
+    }
+    out << "\n";
+  }
+  if (!health.worst_layers.empty()) {
+    constexpr size_t kTopN = 10;
+    out << "### Worst layers (by gradient L2 norm)\n\n"
+        << "| trainer | layer | grad norm | value norm | non-finite |\n"
+        << "|---------|-------|----------:|-----------:|-----------:|\n";
+    const size_t n = std::min(kTopN, health.worst_layers.size());
+    for (size_t i = 0; i < n; ++i) {
+      const HealthLayerRow& l = health.worst_layers[i];
+      out << "| " << l.trainer << " | " << l.layer << " | " << std::scientific
+          << std::setprecision(3) << l.grad_norm << " | " << l.value_norm
+          << std::defaultfloat << " | " << static_cast<int64_t>(l.nonfinite)
+          << " |\n";
+    }
+    if (health.worst_layers.size() > n) {
+      out << "\n(" << (health.worst_layers.size() - n)
+          << " more layers omitted)\n";
+    }
+    out << "\n";
+  }
+  if (!health.quality.empty()) {
+    out << "### Mid-training quality trajectory\n\n"
+        << "| probe scope | step | overall resemblance |\n"
+        << "|-------------|-----:|--------------------:|\n";
+    for (const QualitySeriesRow& q : health.quality) {
+      for (const QualityPoint& p : q.points) {
+        out << "| " << q.scope << " | " << p.step << " | " << std::fixed
+            << std::setprecision(2) << p.overall << " |\n";
+      }
+    }
+    out << "\n";
+  }
+}
+
 void AppendMetricsMarkdown(std::ostringstream& out,
                            const MetricsSnapshot& metrics) {
   if (metrics.counters.empty() && metrics.histograms.empty()) return;
@@ -249,6 +459,7 @@ std::string RenderRunReportMarkdown(const std::string& title,
   AppendRoundsMarkdown(out, rounds);
   AppendCriticalMarkdown(out, profile);
   AppendHotspotsMarkdown(out, profile);
+  AppendTrainingHealthMarkdown(out, metrics);
   AppendMetricsMarkdown(out, metrics);
   return out.str();
 }
@@ -295,6 +506,40 @@ std::string RenderRunReportJson(const std::string& title,
         << "}";
   }
   out << (profile.hotspots.empty() ? "" : "\n  ") << "],\n";
+  const TrainingHealthSummary health = SummarizeTrainingHealth(metrics);
+  out << "  \"training_health\": {\n    \"watchdogs\": [";
+  for (size_t i = 0; i < health.watchdogs.size(); ++i) {
+    const HealthWatchdogRow& w = health.watchdogs[i];
+    out << (i ? "," : "") << "\n      {\"trainer\": \"" << Escape(w.trainer)
+        << "\", \"aborted\": " << (w.aborted ? "true" : "false")
+        << ", \"abort_step\": " << w.abort_step << "}";
+  }
+  out << (health.watchdogs.empty() ? "" : "\n    ") << "],\n";
+  out << "    \"worst_layers\": [";
+  constexpr size_t kJsonTopLayers = 20;
+  const size_t n_layers = std::min(kJsonTopLayers, health.worst_layers.size());
+  for (size_t i = 0; i < n_layers; ++i) {
+    const HealthLayerRow& l = health.worst_layers[i];
+    out << (i ? "," : "") << "\n      {\"trainer\": \"" << Escape(l.trainer)
+        << "\", \"layer\": \"" << Escape(l.layer)
+        << "\", \"grad_norm\": " << l.grad_norm
+        << ", \"value_norm\": " << l.value_norm
+        << ", \"nonfinite\": " << static_cast<int64_t>(l.nonfinite) << "}";
+  }
+  out << (n_layers == 0 ? "" : "\n    ") << "],\n";
+  out << "    \"quality\": [";
+  for (size_t i = 0; i < health.quality.size(); ++i) {
+    const QualitySeriesRow& q = health.quality[i];
+    out << (i ? "," : "") << "\n      {\"scope\": \"" << Escape(q.scope)
+        << "\", \"latest_overall\": " << q.latest_overall
+        << ", \"series\": [";
+    for (size_t j = 0; j < q.points.size(); ++j) {
+      out << (j ? ", " : "") << "{\"step\": " << q.points[j].step
+          << ", \"overall\": " << q.points[j].overall << "}";
+    }
+    out << "]}";
+  }
+  out << (health.quality.empty() ? "" : "\n    ") << "]\n  },\n";
   out << "  \"metrics\": " << metrics.ToJson() << "}\n";
   return out.str();
 }

@@ -44,6 +44,7 @@ struct ProfileReport {
   std::vector<RoundCritical> rounds;  // sorted by round number
   int64_t total_spans = 0;
   int64_t total_flow_events = 0;
+  int64_t total_counter_events = 0;
 };
 
 /// Neutral per-round communication row, decoupled from distributed/ types

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -32,6 +33,7 @@ struct RawEvent {
   int64_t end_ns;
   uint64_t packed_ctx = 0;      // TraceContext::Pack form; 0 = no context
   uint64_t flow_id = 0;         // nonzero for flow points
+  double value = 0.0;           // counter samples only
   const char* party = nullptr;  // interned party name
   char phase = 'X';
 };
@@ -126,6 +128,15 @@ void RecordFlowEvent(const char* name, uint64_t flow_id, bool start,
   Append(event);
 }
 
+void RecordCounterEvent(const char* name, double value, const char* party) {
+  const int64_t now = NowNs();
+  RawEvent event{name, now, now};
+  event.value = value;
+  event.party = party;
+  event.phase = 'C';
+  Append(event);
+}
+
 }  // namespace internal_trace
 
 void EnableTracing(const std::string& export_path) {
@@ -168,6 +179,7 @@ std::vector<TraceEvent> SnapshotTraceEvents() {
       event.start_ns = raw.start_ns;
       event.dur_ns = raw.end_ns - raw.start_ns;
       event.phase = raw.phase;
+      event.value = raw.value;
       event.flow_id = raw.flow_id;
       event.party = raw.party;
       if (raw.packed_ctx != 0) {
@@ -248,12 +260,12 @@ Status WriteTraceJson(const std::string& path) {
                 << ", \"ts\": " << static_cast<double>(e.start_ns) / 1000.0;
     if (e.phase == 'X') {
       out << ", \"dur\": " << static_cast<double>(e.dur_ns) / 1000.0;
-    } else {
+    } else if (e.phase != 'C') {
       // Flow points bind to the enclosing slice at their timestamp.
       out << ", \"id\": " << e.flow_id;
       if (e.phase == 'f') out << ", \"bp\": \"e\"";
     }
-    if (e.run_id != 0 || e.party != nullptr) {
+    if (e.phase == 'C' || e.run_id != 0 || e.party != nullptr) {
       out << ", \"args\": {";
       bool first_arg = true;
       auto arg = [&](const char* key) -> std::ostream& {
@@ -261,6 +273,13 @@ Status WriteTraceJson(const std::string& path) {
         first_arg = false;
         return out;
       };
+      if (e.phase == 'C') {
+        // The counter value is the track's series; non-finite samples (a
+        // blown-up gradient norm) are clamped so the JSON stays parseable.
+        const double v = std::isfinite(e.value) ? e.value : 0.0;
+        arg("value") << std::defaultfloat << std::setprecision(12) << v
+                     << std::fixed << std::setprecision(3);
+      }
       if (e.run_id != 0) {
         arg("run_id") << e.run_id;
         arg("round") << e.round;

@@ -29,6 +29,9 @@ void RecordSpanEvent(const char* name, int64_t start_ns, int64_t end_ns,
 /// the span enclosing it in the exported trace.
 void RecordFlowEvent(const char* name, uint64_t flow_id, bool start,
                      const char* party);
+/// Counter sample ("C") at the current time: the viewer renders a stepped
+/// time-series track per name. `name` must be a literal or interned string.
+void RecordCounterEvent(const char* name, double value, const char* party);
 }  // namespace internal_trace
 
 /// True when spans are being recorded.
@@ -48,16 +51,18 @@ std::string TraceExportPath();
 
 /// One recorded event, for programmatic inspection (tests, profile
 /// aggregation, bench summaries). `phase` distinguishes complete spans
-/// ('X') from transfer flow points ('s' = flow start, 'f' = flow finish);
-/// flow points have dur_ns == 0 and a nonzero flow_id shared by both ends
-/// of one transfer. Context fields mirror obs::TraceContext and are unset
-/// (run_id 0, round 0, silo_id -1, tag nullptr) for plain spans.
+/// ('X') from transfer flow points ('s' = flow start, 'f' = flow finish)
+/// and counter samples ('C', carrying `value`); flow points have
+/// dur_ns == 0 and a nonzero flow_id shared by both ends of one transfer.
+/// Context fields mirror obs::TraceContext and are unset (run_id 0,
+/// round 0, silo_id -1, tag nullptr) for plain spans.
 struct TraceEvent {
   std::string name;
   int tid = 0;          // small per-thread id, 1 = first recording thread
   int64_t start_ns = 0;
   int64_t dur_ns = 0;
   char phase = 'X';
+  double value = 0.0;   // counter samples only
   uint64_t flow_id = 0;
   uint32_t run_id = 0;
   int32_t round = 0;

@@ -52,7 +52,7 @@ Matrix Matrix::FromVector(int rows, int cols, std::vector<float> values) {
   Matrix m;
   m.rows_ = rows;
   m.cols_ = cols;
-  m.data_ = std::move(values);
+  m.data_.assign(values.begin(), values.end());
   return m;
 }
 

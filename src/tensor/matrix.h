@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "tensor/mem_stats.h"
 
 namespace silofuse {
 
@@ -180,9 +181,14 @@ class Matrix {
   }
 
  private:
+  // Allocation accounting (live/peak bytes behind SILOFUSE_MEM_STATS) rides
+  // on the vector's allocator; with accounting off it degenerates to
+  // std::allocator plus one relaxed load per allocation.
+  using Buffer = std::vector<float, memstats::TrackingAllocator<float>>;
+
   int rows_;
   int cols_;
-  std::vector<float> data_;
+  Buffer data_;
 };
 
 }  // namespace silofuse

@@ -62,7 +62,7 @@ TEST(AutoencoderTest, TrainingReducesLoss) {
   auto ae = TabularAutoencoder::Create(data, TinyConfig(), &rng).Value();
   const Matrix x = ae->mixed_encoder().Encode(data);
   const double before = ae->TrainStep(x);
-  ae->Train(data, 300, 128, &rng);
+  ASSERT_TRUE(ae->Train(data, 300, 128, &rng).ok());
   const double after = ae->TrainStep(x);
   EXPECT_LT(after, before);
 }
@@ -71,7 +71,7 @@ TEST(AutoencoderTest, ReconstructionRoundTripAfterTraining) {
   Rng rng(5);
   Table data = MixedTable(500, 5);
   auto ae = TabularAutoencoder::Create(data, TinyConfig(), &rng).Value();
-  ae->Train(data, 500, 128, &rng);
+  ASSERT_TRUE(ae->Train(data, 500, 128, &rng).ok());
   Matrix z = ae->EncodeTable(data);
   Table recon = ae->DecodeToTable(z, &rng, /*sample=*/false);
   // Numeric reconstruction correlates strongly with the input.
@@ -92,7 +92,7 @@ TEST(AutoencoderTest, LatentsAreFinite) {
   Rng rng(6);
   Table data = MixedTable(200, 6);
   auto ae = TabularAutoencoder::Create(data, TinyConfig(), &rng).Value();
-  ae->Train(data, 200, 64, &rng);
+  ASSERT_TRUE(ae->Train(data, 200, 64, &rng).ok());
   EXPECT_TRUE(ae->EncodeTable(data).AllFinite());
 }
 
@@ -133,7 +133,7 @@ TEST(AutoencoderTest, DecodeSampledVsDeterministicDiffer) {
   Rng rng(9);
   Table data = MixedTable(300, 9);
   auto ae = TabularAutoencoder::Create(data, TinyConfig(), &rng).Value();
-  ae->Train(data, 200, 64, &rng);
+  ASSERT_TRUE(ae->Train(data, 200, 64, &rng).ok());
   Matrix z = ae->EncodeTable(data);
   Table det = ae->DecodeToTable(z, &rng, /*sample=*/false);
   Table sampled = ae->DecodeToTable(z, &rng, /*sample=*/true);

@@ -117,7 +117,7 @@ TEST(AutoencoderIoTest, RestoredAutoencoderMatchesOriginal) {
   AutoencoderConfig config;
   config.hidden_dim = 32;
   auto ae = TabularAutoencoder::Create(data, config, &rng).Value();
-  ae->Train(data, 150, 64, &rng);
+  ASSERT_TRUE(ae->Train(data, 150, 64, &rng).ok());
   std::stringstream stream;
   BinaryWriter writer(&stream);
   ae->Save(&writer);

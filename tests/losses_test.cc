@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -75,6 +76,40 @@ TEST(LossesTest, BceStableForLargeLogits) {
   const double loss = BceWithLogitsLoss(logits, target, &grad);
   EXPECT_TRUE(std::isfinite(loss));
   EXPECT_NEAR(loss, 0.0, 1e-6);
+}
+
+TEST(LossesTest, BceFiniteForExtremeAndInfiniteLogits) {
+  // An exploding discriminator can emit arbitrarily large (even infinite)
+  // logits; the clamp must keep loss and gradients finite so the training
+  // watchdog sees a diverging number instead of NaN.
+  const float inf = std::numeric_limits<float>::infinity();
+  Matrix logits = Matrix::FromVector(1, 4, {1e30f, -1e30f, inf, -inf});
+  Matrix target = Matrix::FromVector(1, 4, {0.0f, 1.0f, 0.0f, 1.0f});
+  Matrix grad;
+  const double loss = BceWithLogitsLoss(logits, target, &grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 1e5);  // large — the watchdog's divergence check fires
+  for (int c = 0; c < grad.cols(); ++c) {
+    EXPECT_TRUE(std::isfinite(grad.at(0, c))) << "grad col " << c;
+  }
+}
+
+TEST(LossesTest, SoftmaxCrossEntropyFiniteForExtremeLogits) {
+  // The true class is driven to probability ~0 by a huge logit gap; the
+  // log-prob floor keeps -t*log(p) finite instead of inf/NaN.
+  Matrix logits = Matrix::FromVector(2, 3, {1e30f, -1e30f, -1e30f,  //
+                                            0.0f, 0.0f, 0.0f});
+  Matrix targets = Matrix::FromVector(2, 3, {0.0f, 1.0f, 0.0f,  //
+                                             1.0f, 0.0f, 0.0f});
+  Matrix grad;
+  const double loss = SoftmaxCrossEntropyLoss(logits, targets, &grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 1.0);  // floored at ~100/batch for the dead class
+  for (int r = 0; r < grad.rows(); ++r) {
+    for (int c = 0; c < grad.cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(grad.at(r, c))) << "grad " << r << "," << c;
+    }
+  }
 }
 
 TEST(LossesTest, BceGradCheck) {

@@ -404,6 +404,29 @@ TEST_F(TraceContextTest, BenchCompareOnlyGatesTimeLikeKeys) {
   EXPECT_FALSE(report.entries[0].gated);
 }
 
+TEST_F(TraceContextTest, BenchCompareGatesMemKeysOnAbsoluteGrowthOnly) {
+  // +2 MiB peak: over the 1 MiB absolute slack, a regression even though
+  // the ratio (1.2x) is under rel_slack-style thresholds.
+  const json::Value baseline = ParseOrDie(R"({"matrix_peak_bytes": 10485760})");
+  const json::Value grown = ParseOrDie(R"({"matrix_peak_bytes": 12582912})");
+  const obs::CompareReport report = obs::CompareBenchJson(baseline, {grown});
+  EXPECT_EQ(report.exit_code(), 1);
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_TRUE(report.entries[0].gated);
+  EXPECT_TRUE(report.entries[0].regressed);
+}
+
+TEST_F(TraceContextTest, BenchCompareMemKeysTolerateSubSlackGrowth) {
+  // +512 KiB on a large ratio (6x): under the absolute byte slack, no gate.
+  const json::Value baseline = ParseOrDie(R"({"scratch_bytes": 100000})");
+  const json::Value grown = ParseOrDie(R"({"scratch_bytes": 624288})");
+  const obs::CompareReport report = obs::CompareBenchJson(baseline, {grown});
+  EXPECT_EQ(report.exit_code(), 0);
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_TRUE(report.entries[0].gated);
+  EXPECT_FALSE(report.entries[0].regressed);
+}
+
 TEST_F(TraceContextTest, BenchCompareReportsMissingGatedKeys) {
   const json::Value baseline = ParseOrDie(R"({"gone_ms": 5.0, "kept_ms": 1.0})");
   const json::Value current = ParseOrDie(R"({"kept_ms": 1.0})");
