@@ -1,0 +1,360 @@
+// Serving benchmark: closed-loop and open-loop load against the src/serve
+// SynthesisServer, reporting latency quantiles and throughput vs offered
+// load into BENCH_serving.json (gated by tools/bench_compare against
+// bench/baselines/BENCH_serving.json).
+//
+// Closed loop: 8 concurrent clients issue small synthesis requests
+// back-to-back, once through per-request serial sampling (the no-batching
+// baseline) and once through the server's coalescing batcher. Requests are
+// deliberately small (a few rows each) — the regime where one batched
+// denoising pass amortizes the per-step fixed cost that each solo pass
+// would pay alone. Every coalesced response is byte-compared against its
+// serial counterpart: a speedup only counts if the answer is unchanged.
+//
+// Open loop: Poisson arrivals at fixed offered loads; reports completed /
+// rejected counts and p50/p95/p99 latency per load.
+//
+// Flags: --smoke shrinks training and request counts for CI. Honors
+// SILOFUSE_BENCH_SCALE for the training budget and --metrics-out /
+// SILOFUSE_METRICS for the serve.* metrics snapshot.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/silofuse.h"
+#include "data/generators/paper_datasets.h"
+#include "obs/metrics.h"
+#include "serve/server.h"
+
+using namespace silofuse;
+using namespace silofuse::serve;
+
+namespace {
+
+constexpr int kConcurrency = 8;
+constexpr int kRowsPerRequest = 4;
+
+struct Workload {
+  int requests_per_client = 6;   // closed loop: per client
+  int open_requests = 120;       // open loop: per offered load
+  std::vector<double> offered_rps = {50.0, 150.0};
+};
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+bool TablesEqual(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (int c = 0; c < a.num_columns(); ++c) {
+    const auto& ca = a.column_values(c);
+    const auto& cb = b.column_values(c);
+    if (std::memcmp(ca.data(), cb.data(), ca.size() * sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct ClosedLoopResult {
+  double serial_total_ms = 0.0;
+  double coalesced_total_ms = 0.0;
+  double serial_req_ms = 0.0;
+  double coalesced_req_ms = 0.0;
+  double serial_rows_per_s = 0.0;
+  double coalesced_rows_per_s = 0.0;
+  double speedup = 0.0;
+  int requests = 0;
+  bool bytes_identical = true;
+};
+
+ClosedLoopResult RunClosedLoop(SiloFuse* model, SynthesisServer* server,
+                               int requests_per_client) {
+  ClosedLoopResult result;
+  result.requests = kConcurrency * requests_per_client;
+  const SamplingParams serving = server->options().defaults;
+
+  // Serial baseline: the same request list, one solo sampling pass each.
+  std::vector<Table> serial_outputs;
+  serial_outputs.reserve(result.requests);
+  const auto serial_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < result.requests; ++i) {
+    Rng rng(10000 + static_cast<uint64_t>(i));
+    auto table = model->Synthesize(kRowsPerRequest, &rng, serving);
+    if (!table.ok()) {
+      std::cerr << "serial synthesis failed: " << table.status().ToString()
+                << "\n";
+      std::exit(1);
+    }
+    serial_outputs.push_back(std::move(table).Value());
+  }
+  result.serial_total_ms = ElapsedMs(serial_start);
+
+  // Coalesced: 8 closed-loop clients through the batching server.
+  std::vector<std::vector<Table>> responses(kConcurrency);
+  const auto coalesced_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kConcurrency);
+  for (int c = 0; c < kConcurrency; ++c) {
+    clients.emplace_back([c, server, requests_per_client, &responses] {
+      for (int r = 0; r < requests_per_client; ++r) {
+        ServeRequest request;
+        request.deployment = "bench";
+        request.rows = kRowsPerRequest;
+        request.seed = 10000 + static_cast<uint64_t>(c * requests_per_client + r);
+        auto response = server->Synthesize(request);
+        if (!response.ok()) {
+          std::cerr << "served synthesis failed: "
+                    << response.status().ToString() << "\n";
+          std::exit(1);
+        }
+        responses[c].push_back(std::move(response).Value());
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  result.coalesced_total_ms = ElapsedMs(coalesced_start);
+
+  for (int c = 0; c < kConcurrency; ++c) {
+    for (int r = 0; r < requests_per_client; ++r) {
+      const int i = c * requests_per_client + r;
+      if (!TablesEqual(serial_outputs[i], responses[c][r])) {
+        result.bytes_identical = false;
+      }
+    }
+  }
+
+  const double total_rows =
+      static_cast<double>(result.requests) * kRowsPerRequest;
+  result.serial_req_ms =
+      result.serial_total_ms / static_cast<double>(result.requests);
+  result.coalesced_req_ms =
+      result.coalesced_total_ms / static_cast<double>(result.requests);
+  result.serial_rows_per_s = total_rows / (result.serial_total_ms / 1000.0);
+  result.coalesced_rows_per_s =
+      total_rows / (result.coalesced_total_ms / 1000.0);
+  result.speedup = result.serial_total_ms / result.coalesced_total_ms;
+  return result;
+}
+
+struct OpenLoopResult {
+  double offered_rps = 0.0;
+  int requests = 0;
+  int completed = 0;
+  int rejected = 0;
+  double achieved_rps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+OpenLoopResult RunOpenLoop(SynthesisServer* server, double offered_rps,
+                           int requests) {
+  OpenLoopResult result;
+  result.offered_rps = offered_rps;
+  result.requests = requests;
+
+  std::mt19937_64 arrivals(99);  // fixed arrival process across runs
+  std::exponential_distribution<double> gap_s(offered_rps);
+  std::vector<double> latencies_ms(requests, -1.0);
+  std::vector<int> rejected(requests, 0);
+  std::vector<std::thread> in_flight;
+  in_flight.reserve(requests);
+
+  const auto start = std::chrono::steady_clock::now();
+  double arrival_s = 0.0;
+  for (int i = 0; i < requests; ++i) {
+    arrival_s += gap_s(arrivals);
+    const auto due =
+        start + std::chrono::microseconds(static_cast<int64_t>(arrival_s * 1e6));
+    std::this_thread::sleep_until(due);
+    in_flight.emplace_back([i, server, &latencies_ms, &rejected] {
+      ServeRequest request;
+      request.deployment = "bench";
+      request.rows = kRowsPerRequest;
+      request.seed = 20000 + static_cast<uint64_t>(i);
+      const auto sent = std::chrono::steady_clock::now();
+      auto response = server->Synthesize(request);
+      if (response.ok()) {
+        latencies_ms[i] = ElapsedMs(sent);
+      } else if (response.status().code() == StatusCode::kUnavailable) {
+        rejected[i] = 1;
+      }
+    });
+  }
+  for (std::thread& thread : in_flight) thread.join();
+  const double wall_ms = ElapsedMs(start);
+
+  std::vector<double> completed_ms;
+  for (int i = 0; i < requests; ++i) {
+    if (latencies_ms[i] >= 0.0) completed_ms.push_back(latencies_ms[i]);
+    result.rejected += rejected[i];
+  }
+  result.completed = static_cast<int>(completed_ms.size());
+  result.achieved_rps =
+      static_cast<double>(result.completed) / (wall_ms / 1000.0);
+  result.p50_ms = Percentile(completed_ms, 0.50);
+  result.p95_ms = Percentile(completed_ms, 0.95);
+  result.p99_ms = Percentile(completed_ms, 0.99);
+  return result;
+}
+
+std::string Json(bool smoke, const ClosedLoopResult& closed,
+                 const std::vector<OpenLoopResult>& open) {
+  std::ostringstream out;
+  out << "{\n  \"bench\": \"serving\",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"concurrency\": " << kConcurrency << ",\n";
+  out << "  \"rows_per_request\": " << kRowsPerRequest << ",\n";
+  out << "  \"closed_loop\": {\n";
+  out << "    \"requests\": " << closed.requests << ",\n";
+  out << "    \"serial_total_ms\": " << closed.serial_total_ms << ",\n";
+  out << "    \"coalesced_total_ms\": " << closed.coalesced_total_ms << ",\n";
+  out << "    \"serial_req_ms\": " << closed.serial_req_ms << ",\n";
+  out << "    \"coalesced_req_ms\": " << closed.coalesced_req_ms << ",\n";
+  out << "    \"serial_rows_per_s\": " << closed.serial_rows_per_s << ",\n";
+  out << "    \"coalesced_rows_per_s\": " << closed.coalesced_rows_per_s
+      << ",\n";
+  out << "    \"coalesced_speedup\": " << closed.speedup << ",\n";
+  out << "    \"bytes_identical\": "
+      << (closed.bytes_identical ? "true" : "false") << "\n  },\n";
+  out << "  \"open_loop\": [";
+  for (size_t i = 0; i < open.size(); ++i) {
+    const OpenLoopResult& o = open[i];
+    out << (i ? "," : "") << "\n    {\"offered_rps\": " << o.offered_rps
+        << ", \"requests\": " << o.requests
+        << ", \"completed\": " << o.completed
+        << ", \"rejected\": " << o.rejected
+        << ", \"achieved_rps\": " << o.achieved_rps
+        << ", \"p50_ms\": " << o.p50_ms << ", \"p95_ms\": " << o.p95_ms
+        << ", \"p99_ms\": " << o.p99_ms << "}";
+  }
+  out << (open.empty() ? "" : "\n  ") << "]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  argc = obs::InitTelemetryFromArgs(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  Workload workload;
+  if (smoke) {
+    workload.requests_per_client = 2;
+    workload.open_requests = 25;
+  }
+
+  // One deployment, trained briefly and served from its checkpoint (the
+  // serving path is LoadCheckpoint-restored decode-only models). The
+  // denoiser is production-sized — the paper's eight-layer backbone at a
+  // serving-realistic width — because that is the regime coalescing is
+  // for: sampling cost is dominated by the backbone GEMMs, and batched
+  // requests keep the wide microkernel fed while per-request GEMMs can't.
+  // Training steps are held low; the bench measures sampling, not fit.
+  const double scale = smoke ? 0.25 : std::min(1.0, bench::Scale());
+  SiloFuseOptions options;
+  options.base.autoencoder.hidden_dim = 32;
+  options.base.autoencoder_steps = std::max(20, static_cast<int>(80 * scale));
+  options.base.diffusion_train_steps =
+      std::max(30, static_cast<int>(150 * scale));
+  options.base.batch_size = 64;
+  options.base.diffusion.hidden_dim = 256;
+  options.base.diffusion.num_layers = 8;  // paper: eight-layer backbone
+  options.partition.num_clients = 2;
+  Table data =
+      GeneratePaperDataset("loan", std::max(150, static_cast<int>(400 * scale)), 17)
+          .Value();
+  SiloFuse model(options);
+  Rng rng(18);
+  if (!model.Fit(data, &rng).ok()) {
+    std::cerr << "training failed\n";
+    return 1;
+  }
+  const std::string checkpoint = "BENCH_serving_model.ckpt";
+  if (!model.SaveCheckpoint(checkpoint).ok()) {
+    std::cerr << "checkpoint save failed\n";
+    return 1;
+  }
+
+  ServeOptions serve_options;
+  serve_options.batcher.max_batch_requests = kConcurrency;
+  serve_options.batcher.max_linger_us = 2000;
+  SynthesisServer server(serve_options);
+  if (!server.RegisterDeployment("bench", checkpoint).ok()) {
+    std::cerr << "deployment registration failed\n";
+    return 1;
+  }
+
+  std::cout << "== serving bench: " << kConcurrency << " clients, "
+            << kRowsPerRequest << " rows/request, "
+            << server.options().defaults.steps << "-step DDIM ==\n";
+
+  // Warmup: fault in the model and JIT the cache/batcher paths.
+  {
+    ServeRequest warm;
+    warm.deployment = "bench";
+    warm.rows = kRowsPerRequest;
+    warm.seed = 1;
+    if (!server.Synthesize(warm).ok()) {
+      std::cerr << "warmup request failed\n";
+      return 1;
+    }
+  }
+
+  const ClosedLoopResult closed =
+      RunClosedLoop(&model, &server, workload.requests_per_client);
+  std::cout << "  closed loop (" << closed.requests << " requests): serial "
+            << closed.serial_total_ms << " ms, coalesced "
+            << closed.coalesced_total_ms << " ms  ->  x" << closed.speedup
+            << " throughput (" << closed.coalesced_rows_per_s << " rows/s)\n";
+  if (!closed.bytes_identical) {
+    std::cerr << "BYTE MISMATCH: coalesced responses differ from solo runs\n";
+  } else if (closed.speedup < 2.0) {
+    std::cerr << "warning: coalescing speedup below 2x (" << closed.speedup
+              << ")\n";
+  }
+
+  std::vector<OpenLoopResult> open;
+  for (double rps : workload.offered_rps) {
+    open.push_back(RunOpenLoop(&server, rps, workload.open_requests));
+    const OpenLoopResult& o = open.back();
+    std::cout << "  open loop " << o.offered_rps << " req/s: " << o.completed
+              << "/" << o.requests << " ok (" << o.rejected
+              << " rejected), p50 " << o.p50_ms << " ms, p95 " << o.p95_ms
+              << " ms, p99 " << o.p99_ms << " ms\n";
+  }
+
+  const std::string json = Json(smoke, closed, open);
+  std::ofstream("BENCH_serving.json") << json;
+  std::cout << "\n" << json << "(written to BENCH_serving.json)\n";
+  std::remove(checkpoint.c_str());
+  return closed.bytes_identical ? 0 : 1;
+}

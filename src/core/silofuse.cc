@@ -218,8 +218,17 @@ int SiloFuse::total_latent_dim() const {
 
 Result<std::vector<Table>> SiloFuse::SynthesizePartitioned(int num_rows,
                                                            Rng* rng) {
+  return SynthesizePartitioned(num_rows, rng, SamplingParams{});
+}
+
+Result<std::vector<Table>> SiloFuse::SynthesizePartitioned(
+    int num_rows, Rng* rng, const SamplingParams& params) {
   if (!fitted_) return Status::FailedPrecondition("Fit SiloFuse first");
   if (num_rows <= 0) return Status::InvalidArgument("num_rows must be > 0");
+  const int steps =
+      params.steps > 0 ? params.steps : options_.base.inference_steps;
+  const double eta =
+      params.eta >= 0.0 ? params.eta : options_.base.sampling_eta;
   // Checkpoint-restored models never ran Fit in this process; give them a
   // fresh run id so their synthesis trace is still attributable.
   if (trace_run_id_ == 0) trace_run_id_ = obs::NextTraceRunId();
@@ -235,9 +244,8 @@ Result<std::vector<Table>> SiloFuse::SynthesizePartitioned(int num_rows,
     obs::ContextSpan sample_span(
         "coordinator.sample_latents",
         tracing ? obs::InternTraceString("coordinator") : nullptr, run_ctx);
-    SF_ASSIGN_OR_RETURN(
-        z, coordinator_->SampleLatents(num_rows, options_.base.inference_steps,
-                                       options_.base.sampling_eta, rng));
+    SF_ASSIGN_OR_RETURN(z,
+                        coordinator_->SampleLatents(num_rows, steps, eta, rng));
   }
   // ... partitions Z~ = Z~_1 || ... || Z~_M and ships each client its slice.
   FaultyChannel wire(&channel_, options_.fault.plan);
@@ -277,6 +285,69 @@ Result<std::vector<Table>> SiloFuse::SynthesizePartitioned(int num_rows,
 Result<Table> SiloFuse::Synthesize(int num_rows, Rng* rng) {
   SF_ASSIGN_OR_RETURN(auto parts, SynthesizePartitioned(num_rows, rng));
   return ReassembleColumns(parts, partition_);
+}
+
+Result<Table> SiloFuse::Synthesize(int num_rows, Rng* rng,
+                                   const SamplingParams& params) {
+  SF_ASSIGN_OR_RETURN(auto parts,
+                      SynthesizePartitioned(num_rows, rng, params));
+  return ReassembleColumns(parts, partition_);
+}
+
+Result<std::vector<Table>> SiloFuse::SynthesizeCoalesced(
+    const std::vector<CoalescedRequest>& requests,
+    const SamplingParams& params) {
+  if (!fitted_) return Status::FailedPrecondition("Fit SiloFuse first");
+  if (requests.empty()) {
+    return Status::InvalidArgument("no requests to coalesce");
+  }
+  std::vector<int> block_rows;
+  std::vector<Rng*> rngs;
+  block_rows.reserve(requests.size());
+  rngs.reserve(requests.size());
+  for (const CoalescedRequest& request : requests) {
+    if (request.rows <= 0) {
+      return Status::InvalidArgument("request rows must be > 0");
+    }
+    if (request.rng == nullptr) {
+      return Status::InvalidArgument("request rng must not be null");
+    }
+    block_rows.push_back(request.rows);
+    rngs.push_back(request.rng);
+  }
+  const int steps =
+      params.steps > 0 ? params.steps : options_.base.inference_steps;
+  const double eta =
+      params.eta >= 0.0 ? params.eta : options_.base.sampling_eta;
+  if (trace_run_id_ == 0) trace_run_id_ = obs::NextTraceRunId();
+  obs::TraceContext run_ctx;
+  run_ctx.run_id = trace_run_id_;
+  obs::ScopedTraceContext run_scope(run_ctx);
+  obs::ContextSpan synth_span("silofuse.synthesize_coalesced");
+  // One shared denoising pass over every request's rows...
+  SF_ASSIGN_OR_RETURN(Matrix z, coordinator_->SampleLatentsCoalesced(
+                                    block_rows, rngs, steps, eta));
+  // ... then per-request decoding: each request's slice goes through the
+  // clients in the same order (and with the same rng) as its solo
+  // Synthesize call, so decoder sampling draws line up exactly.
+  std::vector<Table> outputs;
+  outputs.reserve(requests.size());
+  int row_offset = 0;
+  for (const CoalescedRequest& request : requests) {
+    Matrix z_request = z.SliceRows(row_offset, request.rows);
+    row_offset += request.rows;
+    std::vector<Table> decoded;
+    decoded.reserve(clients_.size());
+    int col_offset = 0;
+    for (auto& client : clients_) {
+      Matrix z_i = z_request.SliceCols(col_offset, client->latent_dim());
+      col_offset += client->latent_dim();
+      decoded.push_back(client->Decode(z_i, request.rng, /*sample=*/true));
+    }
+    SF_ASSIGN_OR_RETURN(Table table, ReassembleColumns(decoded, partition_));
+    outputs.push_back(std::move(table));
+  }
+  return outputs;
 }
 
 namespace {

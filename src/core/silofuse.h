@@ -37,6 +37,24 @@ struct SiloFuseOptions {
   int min_clients = 0;
 };
 
+/// Per-call override of the inference schedule (Algorithm 2, lines 3-4).
+/// Fields left at their sentinel defaults fall back to the trained model's
+/// configuration, so `SamplingParams{}` reproduces the configured path
+/// byte-for-byte. Serving uses {steps=25, eta=0.0} — the paper's few-step
+/// DDIM setting ("training 200 timesteps, inference over 25 steps") —
+/// without re-training or rewriting the checkpoint.
+struct SamplingParams {
+  int steps = 0;      // <= 0: use options().base.inference_steps
+  double eta = -1.0;  // < 0: use options().base.sampling_eta
+};
+
+/// One caller's slice of a coalesced synthesis batch: `rows` output rows
+/// whose noise (and decoder sampling) comes exclusively from `rng`.
+struct CoalescedRequest {
+  int rows = 0;
+  Rng* rng = nullptr;
+};
+
 /// SiloFuse: cross-silo synthetic data generation with a distributed latent
 /// tabular diffusion model (the paper's core contribution).
 ///
@@ -74,9 +92,31 @@ class SiloFuse : public Synthesizer {
   /// quantifies).
   Result<Table> Synthesize(int num_rows, Rng* rng) override;
 
+  /// Same, with a per-call inference schedule (steps/eta). The default
+  /// `SamplingParams{}` is byte-identical to the two-argument form.
+  Result<Table> Synthesize(int num_rows, Rng* rng,
+                           const SamplingParams& params);
+
   /// Algorithm 2 keeping the synthetic data vertically partitioned — the
   /// stronger-privacy mode backed by Theorem 1.
   Result<std::vector<Table>> SynthesizePartitioned(int num_rows, Rng* rng);
+
+  /// Same, with a per-call inference schedule (steps/eta).
+  Result<std::vector<Table>> SynthesizePartitioned(
+      int num_rows, Rng* rng, const SamplingParams& params);
+
+  /// Coalesced Algorithm 2 for the serving layer: all requests share ONE
+  /// batched denoising pass (request i's noise comes only from
+  /// requests[i].rng), then each request's latent slice is decoded per
+  /// client with its own rng. Output i is byte-identical to
+  /// Synthesize(requests[i].rows, requests[i].rng, params) on the same
+  /// deployment, so a server may batch whatever concurrent traffic arrives
+  /// without changing any caller's bytes. Runs entirely locally (no channel
+  /// traffic): this is the decode-only hosting path, not the cross-silo
+  /// protocol.
+  Result<std::vector<Table>> SynthesizeCoalesced(
+      const std::vector<CoalescedRequest>& requests,
+      const SamplingParams& params = {});
 
   std::string name() const override { return "SiloFuse"; }
 

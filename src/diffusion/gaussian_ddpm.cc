@@ -240,11 +240,41 @@ double GaussianDdpm::TrainStep(const Matrix& z0, Rng* rng) {
 }
 
 Matrix GaussianDdpm::Sample(int n, int steps, Rng* rng, double eta) {
-  SF_TRACE_SPAN("ddpm.sample");
   SF_CHECK_GT(n, 0);
+  return SampleCoalesced({n}, {rng}, steps, eta);
+}
+
+Matrix GaussianDdpm::SampleCoalesced(const std::vector<int>& block_rows,
+                                     const std::vector<Rng*>& rngs, int steps,
+                                     double eta) {
+  SF_TRACE_SPAN("ddpm.sample");
+  SF_CHECK(!block_rows.empty());
+  SF_CHECK_EQ(block_rows.size(), rngs.size());
+  int n = 0;
+  for (int rows : block_rows) {
+    SF_CHECK_GT(rows, 0);
+    n += rows;
+  }
   const DdpmMetrics& metrics = Metrics();
   const double sample_start_ms = NowMs();
-  Matrix x = Matrix::RandomNormal(n, config_.data_dim, rng);
+  // Per-block noise draw: block i's rows come from rngs[i] in the same
+  // row-major order Sample() would use, so the seed-pinned trajectory of a
+  // block never depends on what else rides in the batch.
+  const auto draw_blocks = [&] {
+    Matrix out(n, config_.data_dim);
+    int row = 0;
+    for (size_t i = 0; i < block_rows.size(); ++i) {
+      Matrix block =
+          Matrix::RandomNormal(block_rows[i], config_.data_dim, rngs[i]);
+      std::copy(block.row_data(0),
+                block.row_data(0) +
+                    static_cast<size_t>(block.rows()) * block.cols(),
+                out.row_data(row));
+      row += block_rows[i];
+    }
+    return out;
+  };
+  Matrix x = draw_blocks();
   const std::vector<int> taus = schedule_.InferenceTimesteps(steps);
   std::vector<int> t_batch(n);
   for (size_t i = 0; i < taus.size(); ++i) {
@@ -276,12 +306,12 @@ Matrix GaussianDdpm::Sample(int n, int steps, Rng* rng, double eta) {
         std::sqrt(std::max(0.0, 1.0 - abar_prev - sigma * sigma));
     const double s0 = std::sqrt(abar_t);
     const double s1 = std::sqrt(1.0 - abar_t);
-    // Pre-draw the step's noise on the caller thread: the seed-pinned Rng
+    // Pre-draw the step's noise on the caller thread: each seed-pinned Rng
     // is consumed in the same row-major element order as the serial
     // sampler, so the batch loop below can fan out over any number of
     // threads without changing the trajectory for a fixed seed.
     Matrix noise;
-    if (sigma > 0.0) noise = Matrix::RandomNormal(n, config_.data_dim, rng);
+    if (sigma > 0.0) noise = draw_blocks();
     Matrix next(n, config_.data_dim);
     ForBatchRows(n, config_.data_dim, [&](int64_t r0, int64_t r1) {
       for (int r = static_cast<int>(r0); r < r1; ++r) {

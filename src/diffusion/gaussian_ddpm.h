@@ -52,6 +52,17 @@ class GaussianDdpm {
   /// eta=1 reproduces ancestral DDPM sampling; eta=0 is deterministic DDIM.
   Matrix Sample(int n, int steps, Rng* rng, double eta = 1.0);
 
+  /// Coalesced sampling for request batching (src/serve): one denoising
+  /// pass over sum(block_rows) rows where row block i consumes noise
+  /// exclusively from rngs[i], in the same draw order as a solo
+  /// Sample(block_rows[i], steps, rngs[i], eta) call. Because every kernel
+  /// on the sampling path computes each output row from that row alone
+  /// (GEMM rows, elementwise maps, per-row DDIM updates), block i of the
+  /// result is byte-identical to its solo run while sharing every backbone
+  /// forward pass with the rest of the batch.
+  Matrix SampleCoalesced(const std::vector<int>& block_rows,
+                         const std::vector<Rng*>& rngs, int steps, double eta);
+
   /// Forward (noising) process of Eq. (1): F(z0, t, eps). `t` is per-row.
   Matrix ForwardProcess(const Matrix& z0, const std::vector<int>& t,
                         const Matrix& eps) const;

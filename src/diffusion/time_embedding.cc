@@ -1,6 +1,7 @@
 #include "diffusion/time_embedding.h"
 
 #include <cmath>
+#include <cstring>
 
 namespace silofuse {
 
@@ -9,16 +10,32 @@ Matrix SinusoidalTimeEmbedding(const std::vector<int>& timesteps, int dim,
   SF_CHECK_GT(dim, 0);
   SF_CHECK_EQ(dim % 2, 0);
   const int half = dim / 2;
+  // The frequency ladder depends only on the column, not the row; computing
+  // it once replaces two transcendentals per element with a table lookup.
+  std::vector<double> freq(half);
+  for (int i = 0; i < half; ++i) {
+    freq[i] = std::exp(-std::log(static_cast<double>(max_period)) * i / half);
+  }
   Matrix out(static_cast<int>(timesteps.size()), dim);
+  // Sampling passes condition every row on the same timestep (training uses
+  // per-row draws), so a repeated timestep copies the previous row instead
+  // of re-evaluating sin/cos — identical bytes, and it turns the embedding
+  // from a per-row cost into a per-pass cost for batched sampling.
+  int prev_t = timesteps.empty() ? 0 : timesteps[0] - 1;
+  const float* prev_row = nullptr;
   for (size_t r = 0; r < timesteps.size(); ++r) {
     float* row = out.row_data(static_cast<int>(r));
+    if (prev_row != nullptr && timesteps[r] == prev_t) {
+      std::memcpy(row, prev_row, static_cast<size_t>(dim) * sizeof(float));
+      continue;
+    }
     const double t = timesteps[r];
     for (int i = 0; i < half; ++i) {
-      const double freq =
-          std::exp(-std::log(static_cast<double>(max_period)) * i / half);
-      row[i] = static_cast<float>(std::sin(t * freq));
-      row[half + i] = static_cast<float>(std::cos(t * freq));
+      row[i] = static_cast<float>(std::sin(t * freq[i]));
+      row[half + i] = static_cast<float>(std::cos(t * freq[i]));
     }
+    prev_t = timesteps[r];
+    prev_row = row;
   }
   return out;
 }

@@ -53,6 +53,20 @@ Result<Matrix> Coordinator::SampleLatents(int num_rows, int inference_steps,
   return standardizer_.Inverse(z);
 }
 
+Result<Matrix> Coordinator::SampleLatentsCoalesced(
+    const std::vector<int>& block_rows, const std::vector<Rng*>& rngs,
+    int inference_steps, double eta) {
+  SF_TRACE_SPAN("coordinator.sample_latents");
+  if (!trained()) {
+    return Status::FailedPrecondition("coordinator has not been trained");
+  }
+  if (block_rows.empty() || block_rows.size() != rngs.size()) {
+    return Status::InvalidArgument("block_rows/rngs size mismatch");
+  }
+  Matrix z = ddpm_->SampleCoalesced(block_rows, rngs, inference_steps, eta);
+  return standardizer_.Inverse(z);
+}
+
 Status Coordinator::Save(BinaryWriter* writer) {
   if (!trained()) {
     return Status::FailedPrecondition("cannot save an untrained coordinator");

@@ -41,6 +41,15 @@ class Coordinator {
   Result<Matrix> SampleLatents(int num_rows, int inference_steps, double eta,
                                Rng* rng);
 
+  /// Coalesced form for the serving layer: one batched denoising pass over
+  /// sum(block_rows) rows where block i draws noise only from rngs[i], so
+  /// each block of the result is byte-identical to a solo
+  /// SampleLatents(block_rows[i], ..., rngs[i]) call (de-standardization is
+  /// elementwise and therefore row-stable too).
+  Result<Matrix> SampleLatentsCoalesced(const std::vector<int>& block_rows,
+                                        const std::vector<Rng*>& rngs,
+                                        int inference_steps, double eta);
+
   /// Ships one client's synthetic latent slice over a reliable transfer;
   /// returns the slice as the client received it (bit-identical on
   /// success). kUnavailable signals exhausted retries or a down silo.

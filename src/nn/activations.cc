@@ -28,14 +28,40 @@ void ForActivation(size_t n, Fn&& fn) {
 
 }  // namespace
 
+// Rational tanh approximation (Cody/Waite-style 6/2-degree polynomials,
+// saturating clamp at |x| = 9), accurate to a few float ulps. Written in
+// plain float arithmetic only — no libm call — so every evaluation produces
+// identical bits whether the compiler runs it in a SIMD lane or a scalar
+// epilogue, and regardless of how many rows share the activation pass.
+// That determinism is load-bearing: the serving layer promises that a row
+// sampled inside a coalesced batch matches the same row sampled solo.
+inline float FastTanh(float x) {
+  const float c = std::min(9.0f, std::max(-9.0f, x));
+  const float x2 = c * c;
+  // Odd 13-degree numerator over even 6-degree denominator (minimax fit).
+  float p = -2.76076847742355e-16f;
+  p = std::fma(p, x2, 2.00018790482477e-13f);
+  p = std::fma(p, x2, -8.60467152213735e-11f);
+  p = std::fma(p, x2, 5.12229709037114e-08f);
+  p = std::fma(p, x2, 1.48572235717979e-05f);
+  p = std::fma(p, x2, 6.37261928875436e-04f);
+  p = std::fma(p, x2, 4.89352455891786e-03f);
+  p *= c;
+  float q = 1.19825839466702e-06f;
+  q = std::fma(q, x2, 1.18534705686654e-04f);
+  q = std::fma(q, x2, 2.26843463243900e-03f);
+  q = std::fma(q, x2, 4.89352518554385e-03f);
+  return p / q;
+}
+
 float GeluScalar(float x) {
   const float inner = kGeluCoef * (x + kGeluCubic * x * x * x);
-  return 0.5f * x * (1.0f + std::tanh(inner));
+  return 0.5f * x * (1.0f + FastTanh(inner));
 }
 
 float GeluGradScalar(float x) {
   const float u = kGeluCoef * (x + kGeluCubic * x * x * x);
-  const float t = std::tanh(u);
+  const float t = FastTanh(u);
   const float du = kGeluCoef * (1.0f + 3.0f * kGeluCubic * x * x);
   return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
 }
@@ -53,9 +79,13 @@ Matrix ApplyFast(const Matrix& input, Fn fn) {
 }
 }  // namespace
 
-Matrix Gelu::Forward(const Matrix& input, bool /*training*/) {
-  cached_input_ = input;
-  return ApplyFast(input, GeluScalar);
+Matrix Gelu::Forward(const Matrix& input, bool training) {
+  // The cache only feeds Backward; inference paths (sampling, serving)
+  // skip the extra allocation + copy.
+  if (training) cached_input_ = input;
+  // The lambda (not a raw function pointer) lets the compiler inline
+  // GeluScalar into the elementwise loop and vectorize FastTanh.
+  return ApplyFast(input, [](float v) { return GeluScalar(v); });
 }
 
 Matrix Gelu::Backward(const Matrix& grad_output) {
@@ -68,8 +98,8 @@ Matrix Gelu::Backward(const Matrix& grad_output) {
   return grad;
 }
 
-Matrix Relu::Forward(const Matrix& input, bool /*training*/) {
-  cached_input_ = input;
+Matrix Relu::Forward(const Matrix& input, bool training) {
+  if (training) cached_input_ = input;
   return ApplyFast(input, [](float v) { return v > 0.0f ? v : 0.0f; });
 }
 
@@ -83,8 +113,8 @@ Matrix Relu::Backward(const Matrix& grad_output) {
   return grad;
 }
 
-Matrix LeakyRelu::Forward(const Matrix& input, bool /*training*/) {
-  cached_input_ = input;
+Matrix LeakyRelu::Forward(const Matrix& input, bool training) {
+  if (training) cached_input_ = input;
   const float slope = slope_;
   return ApplyFast(input, [slope](float v) { return v > 0.0f ? v : slope * v; });
 }
@@ -102,9 +132,10 @@ Matrix LeakyRelu::Backward(const Matrix& grad_output) {
   return grad;
 }
 
-Matrix Tanh::Forward(const Matrix& input, bool /*training*/) {
-  cached_output_ = ApplyFast(input, [](float v) { return std::tanh(v); });
-  return cached_output_;
+Matrix Tanh::Forward(const Matrix& input, bool training) {
+  Matrix out = ApplyFast(input, [](float v) { return std::tanh(v); });
+  if (training) cached_output_ = out;
+  return out;
 }
 
 Matrix Tanh::Backward(const Matrix& grad_output) {

@@ -17,11 +17,13 @@ Linear::Linear(int in_features, int out_features, Rng* rng, bool bias)
   }
 }
 
-Matrix Linear::Forward(const Matrix& input, bool /*training*/) {
+Matrix Linear::Forward(const Matrix& input, bool training) {
   SF_CHECK_EQ(input.cols(), in_features_);
-  cached_input_ = input;
+  // The cache only feeds Backward; inference skips the allocation + copy,
+  // and the bias is folded in without materializing a second matrix.
+  if (training) cached_input_ = input;
   Matrix out = input.MatMul(weight_.value);
-  if (has_bias_) out = out.AddRowBroadcast(bias_.value);
+  if (has_bias_) out.AddRowBroadcastInPlace(bias_.value);
   return out;
 }
 

@@ -44,11 +44,15 @@ class Module {
   virtual const char* TypeName() const { return "module"; }
 
   /// Computes the layer output. `training` toggles stochastic behaviour
-  /// (dropout); inference passes must use training=false.
+  /// (dropout) and backward caching; inference passes must use
+  /// training=false, which also lets layers skip the activation caches
+  /// Backward would need (an allocation + copy per layer that matters on
+  /// the batched sampling / serving hot path).
   virtual Matrix Forward(const Matrix& input, bool training) = 0;
 
   /// Given dLoss/dOutput, accumulates dLoss/dParams into the parameter
-  /// grads and returns dLoss/dInput. Must follow a Forward call.
+  /// grads and returns dLoss/dInput. Must follow a Forward call with
+  /// training=true (inference forwards do not populate the caches).
   virtual Matrix Backward(const Matrix& grad_output) = 0;
 
   /// Pointers to this module's trainable parameters (empty by default).

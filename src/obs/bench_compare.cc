@@ -33,12 +33,17 @@ void Flatten(const json::Value& v, const std::string& prefix,
   }
 }
 
-bool TimeLikeKey(const std::string& key) {
-  // The suffix may be followed by an array index: "gemm_ms[3]".
+// Strips one *trailing* "[N]" index ("gemm_ms[3]" -> "gemm_ms"). A bracket
+// in the middle of the key comes from an array of objects
+// ("open_loop[0].p50_ms") and must not truncate the leaf name.
+std::string StripTrailingIndex(const std::string& key) {
+  if (key.empty() || key.back() != ']') return key;
   const size_t bracket = key.rfind('[');
-  const std::string stem = bracket == std::string::npos
-                               ? key
-                               : key.substr(0, bracket);
+  return bracket == std::string::npos ? key : key.substr(0, bracket);
+}
+
+bool TimeLikeKey(const std::string& key) {
+  const std::string stem = StripTrailingIndex(key);
   auto ends_with = [&stem](const char* suffix) {
     const size_t n = std::char_traits<char>::length(suffix);
     return stem.size() >= n && stem.compare(stem.size() - n, n, suffix) == 0;
@@ -47,10 +52,7 @@ bool TimeLikeKey(const std::string& key) {
 }
 
 bool MemLikeKey(const std::string& key) {
-  const size_t bracket = key.rfind('[');
-  const std::string stem = bracket == std::string::npos
-                               ? key
-                               : key.substr(0, bracket);
+  const std::string stem = StripTrailingIndex(key);
   constexpr const char* kSuffix = "_bytes";
   const size_t n = std::char_traits<char>::length(kSuffix);
   return stem.size() >= n && stem.compare(stem.size() - n, n, kSuffix) == 0;

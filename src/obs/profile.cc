@@ -421,6 +421,100 @@ void AppendTrainingHealthMarkdown(std::ostringstream& out,
   }
 }
 
+/// Serving-layer rollup (src/serve): request/queue counters, latency and
+/// batch-shape histograms, model-cache stats. Present only when the process
+/// actually served traffic (serve.requests > 0).
+struct ServingSummary {
+  int64_t requests = 0;
+  int64_t rows = 0;
+  int64_t rejected = 0;
+  double queue_depth = 0.0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
+  int64_t cache_reloads = 0;
+  double cache_loaded = 0.0;
+  const HistogramSnapshot* latency_ms = nullptr;
+  const HistogramSnapshot* batch_requests = nullptr;
+  const HistogramSnapshot* batch_rows = nullptr;
+  bool any() const { return requests > 0; }
+};
+
+int64_t CounterOr(const MetricsSnapshot& metrics, const std::string& key,
+                  int64_t fallback) {
+  auto it = metrics.counters.find(key);
+  return it == metrics.counters.end() ? fallback : it->second;
+}
+
+const HistogramSnapshot* HistogramOrNull(const MetricsSnapshot& metrics,
+                                         const std::string& key) {
+  auto it = metrics.histograms.find(key);
+  return it == metrics.histograms.end() || it->second.count == 0
+             ? nullptr
+             : &it->second;
+}
+
+ServingSummary SummarizeServing(const MetricsSnapshot& metrics) {
+  ServingSummary serving;
+  serving.requests = CounterOr(metrics, "serve.requests", 0);
+  serving.rows = CounterOr(metrics, "serve.rows", 0);
+  serving.rejected = CounterOr(metrics, "serve.rejected", 0);
+  serving.queue_depth = GaugeOr(metrics, "serve.queue_depth", 0.0);
+  serving.cache_hits = CounterOr(metrics, "serve.cache.hits", 0);
+  serving.cache_misses = CounterOr(metrics, "serve.cache.misses", 0);
+  serving.cache_evictions = CounterOr(metrics, "serve.cache.evictions", 0);
+  serving.cache_reloads = CounterOr(metrics, "serve.cache.reloads", 0);
+  serving.cache_loaded = GaugeOr(metrics, "serve.cache.loaded", 0.0);
+  serving.latency_ms = HistogramOrNull(metrics, "serve.request_latency_ms");
+  serving.batch_requests = HistogramOrNull(metrics, "serve.batch.requests");
+  serving.batch_rows = HistogramOrNull(metrics, "serve.batch.rows");
+  return serving;
+}
+
+void AppendServingMarkdown(std::ostringstream& out,
+                           const MetricsSnapshot& metrics) {
+  const ServingSummary serving = SummarizeServing(metrics);
+  if (!serving.any()) return;
+  out << "## Serving\n\n"
+      << "| metric | value |\n|--------|------:|\n"
+      << "| requests | " << serving.requests << " |\n"
+      << "| rows served | " << serving.rows << " |\n"
+      << "| rejected (backpressure) | " << serving.rejected << " |\n"
+      << "| queue depth (last) | " << static_cast<int64_t>(serving.queue_depth)
+      << " |\n"
+      << "| cache hits / misses | " << serving.cache_hits << " / "
+      << serving.cache_misses << " |\n"
+      << "| cache reloads / evictions | " << serving.cache_reloads << " / "
+      << serving.cache_evictions << " |\n"
+      << "| models resident | " << static_cast<int64_t>(serving.cache_loaded)
+      << " |\n\n";
+  if (serving.latency_ms != nullptr) {
+    const HistogramSnapshot& h = *serving.latency_ms;
+    out << "### Request latency (ms)\n\n"
+        << "| count | mean | p50 | p95 | p99 |\n"
+        << "|------:|-----:|----:|----:|----:|\n"
+        << "| " << h.count << " | " << std::fixed << std::setprecision(3)
+        << (h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count)) << " | "
+        << h.Quantile(0.50) << " | " << h.Quantile(0.95) << " | "
+        << h.Quantile(0.99) << " |\n\n";
+  }
+  if (serving.batch_requests != nullptr) {
+    const HistogramSnapshot& h = *serving.batch_requests;
+    out << "### Batch size (requests per coalesced pass)\n\n"
+        << "| bucket | batches |\n|--------|--------:|\n";
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (h.bucket_counts[i] == 0) continue;
+      if (i < h.bounds.size()) {
+        out << "| <= " << static_cast<int64_t>(h.bounds[i]);
+      } else {
+        out << "| > " << static_cast<int64_t>(h.bounds.back());
+      }
+      out << " | " << h.bucket_counts[i] << " |\n";
+    }
+    out << "\n";
+  }
+}
+
 void AppendMetricsMarkdown(std::ostringstream& out,
                            const MetricsSnapshot& metrics) {
   if (metrics.counters.empty() && metrics.histograms.empty()) return;
@@ -460,6 +554,7 @@ std::string RenderRunReportMarkdown(const std::string& title,
   AppendCriticalMarkdown(out, profile);
   AppendHotspotsMarkdown(out, profile);
   AppendTrainingHealthMarkdown(out, metrics);
+  AppendServingMarkdown(out, metrics);
   AppendMetricsMarkdown(out, metrics);
   return out.str();
 }
@@ -540,6 +635,45 @@ std::string RenderRunReportJson(const std::string& title,
     out << "]}";
   }
   out << (health.quality.empty() ? "" : "\n    ") << "]\n  },\n";
+  const ServingSummary serving = SummarizeServing(metrics);
+  const auto histogram_json = [&out](const HistogramSnapshot* h) {
+    if (h == nullptr) {
+      out << "null";
+      return;
+    }
+    out << "{\"count\": " << h->count << ", \"mean\": "
+        << (h->count == 0 ? 0.0 : h->sum / static_cast<double>(h->count))
+        << ", \"p50\": " << h->Quantile(0.50)
+        << ", \"p95\": " << h->Quantile(0.95)
+        << ", \"p99\": " << h->Quantile(0.99) << ", \"buckets\": [";
+    for (size_t i = 0; i < h->bucket_counts.size(); ++i) {
+      out << (i ? ", " : "") << "{\"le\": ";
+      if (i < h->bounds.size()) {
+        out << h->bounds[i];
+      } else {
+        out << "\"inf\"";
+      }
+      out << ", \"count\": " << h->bucket_counts[i] << "}";
+    }
+    out << "]}";
+  };
+  out << "  \"serving\": {\n"
+      << "    \"requests\": " << serving.requests << ",\n"
+      << "    \"rows\": " << serving.rows << ",\n"
+      << "    \"rejected\": " << serving.rejected << ",\n"
+      << "    \"queue_depth\": " << serving.queue_depth << ",\n"
+      << "    \"cache\": {\"hits\": " << serving.cache_hits
+      << ", \"misses\": " << serving.cache_misses
+      << ", \"reloads\": " << serving.cache_reloads
+      << ", \"evictions\": " << serving.cache_evictions
+      << ", \"loaded\": " << serving.cache_loaded << "},\n"
+      << "    \"request_latency_ms\": ";
+  histogram_json(serving.latency_ms);
+  out << ",\n    \"batch_requests\": ";
+  histogram_json(serving.batch_requests);
+  out << ",\n    \"batch_rows\": ";
+  histogram_json(serving.batch_rows);
+  out << "\n  },\n";
   out << "  \"metrics\": " << metrics.ToJson() << "}\n";
   return out.str();
 }

@@ -1,0 +1,119 @@
+#ifndef SILOFUSE_SERVE_BATCHER_H_
+#define SILOFUSE_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/silofuse.h"
+#include "data/table.h"
+
+namespace silofuse {
+namespace serve {
+
+struct BatcherOptions {
+  /// Coalesce at most this many requests into one sampling pass.
+  int max_batch_requests = 16;
+  /// ... or until the batch reaches this many output rows, whichever first.
+  int max_batch_rows = 4096;
+  /// After the first request of a batch arrives, wait up to this long for
+  /// more arrivals before dispatching (latency the slowest request pays to
+  /// let the fastest share its denoising pass). 0 dispatches immediately.
+  int64_t max_linger_us = 2000;
+  /// Admission control: SubmitAsync rejects with kUnavailable when this many
+  /// requests are already queued (bounded-queue backpressure).
+  int max_queue_depth = 64;
+  /// False = manual mode for deterministic tests: no worker thread is
+  /// started and the owner drives dispatch via RunOnce().
+  bool start_worker = true;
+};
+
+/// Coalesces concurrent synthesis requests for ONE deployment into batched
+/// sampling passes.
+///
+/// Requests are served FIFO. A dispatch takes the longest front run of
+/// queued requests that share SamplingParams (different schedules cannot
+/// share a denoising pass), capped by max_batch_requests/max_batch_rows,
+/// and hands it to the batch function — which is expected to produce, for
+/// each member, exactly the bytes a solo request with the same seed would
+/// get (SiloFuse::SynthesizeCoalesced's contract). A failed batch fails
+/// every member with the batch's status; later queued requests are
+/// unaffected.
+///
+/// Histograms serve.batch.requests / serve.batch.rows record realized batch
+/// shapes; gauge serve.queue_depth tracks the pending count; counter
+/// serve.rejected counts admission-control rejections.
+class RequestBatcher {
+ public:
+  /// One caller's order: `rows` synthetic rows from a deployment-scoped
+  /// deterministic stream keyed by `seed`.
+  struct Request {
+    int rows = 0;
+    uint64_t seed = 0;
+    SamplingParams params;
+  };
+
+  /// Runs one coalesced pass over `batch` (all members share `params`) and
+  /// returns one table per member, in order. Called on the worker thread
+  /// (or inside RunOnce) with no batcher lock held.
+  using BatchFn = std::function<Result<std::vector<Table>>(
+      const std::vector<Request>& batch, const SamplingParams& params)>;
+
+  RequestBatcher(BatcherOptions options, BatchFn batch_fn);
+  ~RequestBatcher();
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Enqueues a request. Returns the future that will carry its table, or
+  /// kUnavailable immediately when the queue is full (the caller should
+  /// shed load / retry with backoff).
+  Result<std::future<Result<Table>>> SubmitAsync(Request request);
+
+  /// SubmitAsync + wait: the synchronous serving call.
+  Result<Table> Submit(Request request);
+
+  /// Manual mode: dispatches one batch from the queue front on the calling
+  /// thread (no linger). Returns the number of requests served, 0 when the
+  /// queue is empty. Must not race a started worker.
+  int RunOnce();
+
+  /// Pending (not yet dispatched) requests.
+  int QueueDepth() const;
+
+ private:
+  struct Pending {
+    Request request;
+    std::promise<Result<Table>> promise;
+  };
+
+  /// Pops the next batch (front run with equal params, size-capped) off the
+  /// queue. Caller holds mu_. Empty when the queue is empty.
+  std::vector<Pending> NextBatchLocked();
+
+  /// Runs `batch` through batch_fn_ and fulfills its promises. No lock.
+  void Dispatch(std::vector<Pending> batch);
+
+  void WorkerLoop();
+
+  BatcherOptions options_;
+  BatchFn batch_fn_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // worker wakeup: arrival or stop
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  std::thread worker_;  // joinable only when options_.start_worker
+};
+
+}  // namespace serve
+}  // namespace silofuse
+
+#endif  // SILOFUSE_SERVE_BATCHER_H_

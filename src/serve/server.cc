@@ -1,0 +1,135 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace silofuse {
+namespace serve {
+
+namespace {
+
+struct ServerMetrics {
+  obs::Counter* requests;
+  obs::Counter* rows;
+  obs::Histogram* latency_ms;
+};
+
+const ServerMetrics& Metrics() {
+  static const ServerMetrics metrics = [] {
+    auto& registry = obs::MetricsRegistry::Global();
+    ServerMetrics m;
+    m.requests = registry.GetCounter("serve.requests");
+    m.rows = registry.GetCounter("serve.rows");
+    m.latency_ms = registry.GetHistogram(
+        "serve.request_latency_ms",
+        {0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000});
+    return m;
+  }();
+  return metrics;
+}
+
+}  // namespace
+
+SynthesisServer::SynthesisServer(ServeOptions options)
+    : options_(options), cache_(options.cache) {
+  if (options_.stream_chunk_rows < 1) options_.stream_chunk_rows = 1;
+  if (options_.max_rows_per_request < 1) options_.max_rows_per_request = 1;
+}
+
+Status SynthesisServer::RegisterDeployment(const std::string& name,
+                                           const std::string& checkpoint_path) {
+  return cache_.Register(name, checkpoint_path);
+}
+
+RequestBatcher* SynthesisServer::BatcherFor(const std::string& deployment) {
+  std::lock_guard<std::mutex> lock(batchers_mu_);
+  auto it = batchers_.find(deployment);
+  if (it == batchers_.end()) {
+    auto batcher = std::make_unique<RequestBatcher>(
+        options_.batcher,
+        [this, deployment](const std::vector<RequestBatcher::Request>& batch,
+                           const SamplingParams& params) {
+          return RunBatch(deployment, batch, params);
+        });
+    it = batchers_.emplace(deployment, std::move(batcher)).first;
+  }
+  return it->second.get();
+}
+
+Result<std::vector<Table>> SynthesisServer::RunBatch(
+    const std::string& deployment,
+    const std::vector<RequestBatcher::Request>& batch,
+    const SamplingParams& params) {
+  SF_TRACE_SPAN("serve.batch");
+  SF_ASSIGN_OR_RETURN(std::shared_ptr<SiloFuse> model,
+                      cache_.Get(deployment));
+  // One private noise stream per request: output i is byte-identical to a
+  // solo request with the same seed regardless of batch composition.
+  std::deque<Rng> rngs;
+  std::vector<CoalescedRequest> coalesced;
+  coalesced.reserve(batch.size());
+  for (const RequestBatcher::Request& request : batch) {
+    rngs.emplace_back(request.seed);
+    coalesced.push_back({request.rows, &rngs.back()});
+  }
+  return model->SynthesizeCoalesced(coalesced, params);
+}
+
+Result<Table> SynthesisServer::Synthesize(const ServeRequest& request) {
+  const ServerMetrics& metrics = Metrics();
+  metrics.requests->Increment();
+  if (request.rows <= 0) {
+    return Status::InvalidArgument("request rows must be positive");
+  }
+  if (request.rows > options_.max_rows_per_request) {
+    return Status::InvalidArgument(
+        "request rows " + std::to_string(request.rows) +
+        " exceed max_rows_per_request " +
+        std::to_string(options_.max_rows_per_request));
+  }
+  // Resolve the schedule up front: batches may only merge requests with
+  // identical params, and sentinels resolve to the SERVING defaults here
+  // (25-step DDIM), not to the checkpoint's training schedule.
+  RequestBatcher::Request order;
+  order.rows = request.rows;
+  order.seed = request.seed;
+  order.params.steps = request.params.steps > 0 ? request.params.steps
+                                                : options_.defaults.steps;
+  order.params.eta =
+      request.params.eta >= 0.0 ? request.params.eta : options_.defaults.eta;
+
+  const auto start = std::chrono::steady_clock::now();
+  Result<Table> result = BatcherFor(request.deployment)->Submit(order);
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  metrics.latency_ms->Observe(latency_ms);
+  if (result.ok()) metrics.rows->Add(request.rows);
+  return result;
+}
+
+Status SynthesisServer::SynthesizeStream(const ServeRequest& request,
+                                         const RowChunkSink& sink) {
+  SF_ASSIGN_OR_RETURN(Table table, Synthesize(request));
+  // Chunking applies to DELIVERY only: the decode itself must be whole-
+  // request (the decoder consumes its rng span-major, so decoding row
+  // chunks independently would change the bytes).
+  for (int start = 0; start < table.num_rows();
+       start += options_.stream_chunk_rows) {
+    const int count =
+        std::min(options_.stream_chunk_rows, table.num_rows() - start);
+    SF_RETURN_NOT_OK(sink(table.SliceRows(start, count)));
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace silofuse

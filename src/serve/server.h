@@ -1,0 +1,113 @@
+#ifndef SILOFUSE_SERVE_SERVER_H_
+#define SILOFUSE_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "data/table.h"
+#include "serve/batcher.h"
+#include "serve/model_cache.h"
+
+namespace silofuse {
+namespace serve {
+
+/// One synthesis order against a hosted deployment.
+struct ServeRequest {
+  std::string deployment;
+  int rows = 0;
+  /// Seeds the request's private noise stream. Two requests with the same
+  /// (deployment, rows, seed, params) get byte-identical tables no matter
+  /// what else is in flight.
+  uint64_t seed = 0;
+  /// Per-request schedule override; sentinel fields (steps <= 0, eta < 0)
+  /// fall back to ServeOptions::defaults, NOT to the checkpoint's training
+  /// configuration.
+  SamplingParams params;
+};
+
+struct ServeOptions {
+  ModelCacheOptions cache;
+  BatcherOptions batcher;
+  /// Serving-path schedule for requests that do not override it: few-step
+  /// deterministic DDIM (the paper's 25-step inference setting, eta = 0).
+  SamplingParams defaults{/*steps=*/25, /*eta=*/0.0};
+  /// SynthesizeStream delivers the result in chunks of at most this many
+  /// rows.
+  int stream_chunk_rows = 256;
+  /// Admission control: reject single requests larger than this outright.
+  int max_rows_per_request = 65536;
+};
+
+/// Multi-tenant synthesis-as-a-service front end.
+///
+/// Hosts decode-only SiloFuse deployments (SiloFuse::LoadCheckpoint) behind
+/// an LRU ModelCache with checkpoint hot-reload, coalescing concurrent
+/// requests per deployment through a RequestBatcher into single batched
+/// few-step sampling passes (SiloFuse::SynthesizeCoalesced). The model is
+/// fetched from the cache once per batch, so a hot-reloaded checkpoint
+/// takes effect at the next batch boundary while in-flight batches drain on
+/// the shared_ptr they already hold.
+///
+/// Thread-safe: any number of threads may call Synthesize concurrently.
+///
+/// Metrics: counter serve.requests, serve.rows, serve.rejected; histogram
+/// serve.request_latency_ms (queueing + linger + sampling + decode);
+/// serve.batch.* and serve.cache.* from the batcher and cache.
+class SynthesisServer {
+ public:
+  explicit SynthesisServer(ServeOptions options = {});
+
+  SynthesisServer(const SynthesisServer&) = delete;
+  SynthesisServer& operator=(const SynthesisServer&) = delete;
+
+  /// Makes `checkpoint_path` servable as deployment `name`. Loading is
+  /// lazy (first request) and re-registering swaps the path.
+  Status RegisterDeployment(const std::string& name,
+                            const std::string& checkpoint_path);
+
+  /// Serves one request: validates, enqueues into the deployment's batcher,
+  /// waits for its coalesced pass, returns the full table. kUnavailable
+  /// under backpressure, kNotFound for unknown deployments.
+  Result<Table> Synthesize(const ServeRequest& request);
+
+  /// Receives consecutive row chunks of one response, in order. A non-OK
+  /// return aborts delivery and surfaces from SynthesizeStream.
+  using RowChunkSink = std::function<Status(const Table& chunk)>;
+
+  /// Streaming variant: same sampling path, but the response is delivered
+  /// through `sink` in chunks of at most options().stream_chunk_rows rows,
+  /// so callers can forward rows without holding a second full copy.
+  Status SynthesizeStream(const ServeRequest& request,
+                          const RowChunkSink& sink);
+
+  ModelCache* cache() { return &cache_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  /// Lazily creates the deployment's batcher (whose batch function samples
+  /// through the cache).
+  RequestBatcher* BatcherFor(const std::string& deployment);
+
+  /// One coalesced pass for `deployment`: cache fetch + SynthesizeCoalesced.
+  Result<std::vector<Table>> RunBatch(
+      const std::string& deployment,
+      const std::vector<RequestBatcher::Request>& batch,
+      const SamplingParams& params);
+
+  ServeOptions options_;
+  ModelCache cache_;
+  std::mutex batchers_mu_;
+  // Destroyed before cache_ (reverse member order): batcher workers may
+  // still be sampling on cached models during their drain.
+  std::map<std::string, std::unique_ptr<RequestBatcher>> batchers_;
+};
+
+}  // namespace serve
+}  // namespace silofuse
+
+#endif  // SILOFUSE_SERVE_SERVER_H_

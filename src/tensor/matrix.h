@@ -130,6 +130,10 @@ class Matrix {
 
   /// Adds a 1 x cols row vector to every row (bias broadcast).
   Matrix AddRowBroadcast(const Matrix& row) const;
+
+  /// In-place variant of AddRowBroadcast: adds the 1 x cols() `row` to every
+  /// row of this matrix without allocating a copy (hot on inference paths).
+  void AddRowBroadcastInPlace(const Matrix& row);
   /// Multiplies every row elementwise by a 1 x cols row vector.
   Matrix MulRowBroadcast(const Matrix& row) const;
 

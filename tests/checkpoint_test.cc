@@ -4,7 +4,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -188,6 +190,57 @@ TEST_F(SiloFuseCheckpointTest, SaveLoadSynthesizeRoundTrip) {
     for (int c = 0; c < data.num_columns(); ++c) {
       EXPECT_DOUBLE_EQ(synth_a.Value().value(r, c),
                        synth_b.Value().value(r, c));
+    }
+  }
+}
+
+// Serving restores checkpoints from concurrent request paths (model-cache
+// misses on two deployments backed by one file, tests, tools); restore must
+// be safe to run in parallel and each restored model fully independent.
+// Runs under the TSan CI job.
+TEST_F(SiloFuseCheckpointTest, ConcurrentRestoreIsIndependent) {
+  Table data = GeneratePaperDataset("loan", 200, 7).Value();
+  SiloFuseOptions options;
+  options.base.autoencoder.hidden_dim = 32;
+  options.base.autoencoder_steps = 40;
+  options.base.diffusion_train_steps = 60;
+  options.base.batch_size = 64;
+  options.base.diffusion.hidden_dim = 32;
+  options.base.diffusion.num_layers = 3;
+  options.partition.num_clients = 2;
+  SiloFuse model(options);
+  Rng rng(8);
+  ASSERT_TRUE(model.Fit(data, &rng).ok());
+  ASSERT_TRUE(model.SaveCheckpoint(path_).ok());
+
+  constexpr int kThreads = 2;
+  std::vector<Result<Table>> outputs(kThreads, Status::Internal("unset"));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &outputs] {
+      auto restored = SiloFuse::LoadCheckpoint(path_);
+      if (!restored.ok()) {
+        outputs[t] = restored.status();
+        return;
+      }
+      Rng synth_rng(21);  // same seed in both threads
+      outputs[t] = restored.Value()->Synthesize(30, &synth_rng);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(outputs[t].ok()) << outputs[t].status().ToString();
+    EXPECT_TRUE(outputs[t].Value().schema() == data.schema());
+  }
+  // Same file + same seed -> byte-identical tables from both threads.
+  const Table& a = outputs[0].Value();
+  const Table& b = outputs[1].Value();
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      EXPECT_EQ(a.value(r, c), b.value(r, c));
     }
   }
 }

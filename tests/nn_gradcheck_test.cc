@@ -35,7 +35,9 @@ void CheckGradients(Module* module, Matrix input, int out_rows, int out_cols,
   Matrix g = Matrix::RandomNormal(out_rows, out_cols, &rng);
 
   module->ZeroGrad();
-  Matrix out = module->Forward(input, false);
+  // Backward consumes caches that layers only populate in training mode
+  // (inference forwards skip them to avoid the copies).
+  Matrix out = module->Forward(input, /*training=*/true);
   ASSERT_EQ(out.rows(), out_rows);
   ASSERT_EQ(out.cols(), out_cols);
   Matrix grad_input = module->Backward(g);
@@ -59,7 +61,7 @@ void CheckGradients(Module* module, Matrix input, int out_rows, int out_cols,
   // Parameter gradients. Re-run forward/backward so caches match the
   // unperturbed input.
   module->ZeroGrad();
-  module->Forward(input, false);
+  module->Forward(input, /*training=*/true);
   module->Backward(g);
   for (Parameter* p : module->Parameters()) {
     for (int r = 0; r < p->value.rows(); ++r) {

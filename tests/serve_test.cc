@@ -1,0 +1,435 @@
+// Tests of the serving layer (src/serve): seed-stable request coalescing,
+// batcher admission control, the LRU model cache with checkpoint
+// hot-reload, and the multi-tenant SynthesisServer end to end. The
+// concurrency cases run under the TSan CI job.
+
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/silofuse.h"
+#include "data/generators/paper_datasets.h"
+#include "serve/batcher.h"
+#include "serve/model_cache.h"
+#include "serve/server.h"
+
+namespace silofuse {
+namespace serve {
+namespace {
+
+SiloFuseOptions TinyOptions(int clients = 2) {
+  SiloFuseOptions options;
+  options.base.autoencoder.hidden_dim = 32;
+  options.base.autoencoder_steps = 40;
+  options.base.diffusion_train_steps = 60;
+  options.base.batch_size = 64;
+  options.base.diffusion.hidden_dim = 32;
+  options.base.diffusion.num_layers = 3;
+  options.partition.num_clients = clients;
+  return options;
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (int r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.value(r, c), b.value(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+/// One trained model + checkpoint shared by the whole suite (training
+/// dominates test wall time).
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Table data = GeneratePaperDataset("loan", 200, 5).Value();
+    model_ = new SiloFuse(TinyOptions());
+    Rng rng(6);
+    ASSERT_TRUE(model_->Fit(data, &rng).ok());
+    checkpoint_path_ = ::testing::TempDir() + "/serve_model.ckpt";
+    ASSERT_TRUE(model_->SaveCheckpoint(checkpoint_path_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    std::remove(checkpoint_path_.c_str());
+  }
+
+  static SiloFuse* model_;
+  static std::string checkpoint_path_;
+};
+
+SiloFuse* ServeTest::model_ = nullptr;
+std::string ServeTest::checkpoint_path_;
+
+// --- Coalesced sampling (the correctness core of request batching) ---------
+
+TEST_F(ServeTest, CoalescedSynthesisByteIdenticalToSolo) {
+  const std::vector<int> rows = {7, 3, 12};
+  const std::vector<uint64_t> seeds = {101, 202, 303};
+  SamplingParams params;
+  params.steps = 25;
+  params.eta = 0.0;
+
+  std::vector<Rng> rngs;
+  rngs.reserve(seeds.size());
+  for (uint64_t seed : seeds) rngs.emplace_back(seed);
+  std::vector<CoalescedRequest> requests;
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    requests.push_back({rows[i], &rngs[i]});
+  }
+  auto coalesced = model_->SynthesizeCoalesced(requests, params);
+  ASSERT_TRUE(coalesced.ok()) << coalesced.status().ToString();
+  ASSERT_EQ(coalesced.Value().size(), seeds.size());
+
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    Rng solo_rng(seeds[i]);
+    auto solo = model_->Synthesize(rows[i], &solo_rng, params);
+    ASSERT_TRUE(solo.ok()) << solo.status().ToString();
+    ExpectTablesEqual(coalesced.Value()[i], solo.Value());
+  }
+}
+
+TEST_F(ServeTest, CoalescedAncestralSamplingAlsoByteIdentical) {
+  // eta = 1 draws per-step noise, exercising the per-block noise slicing on
+  // every denoising step, not just at initialization.
+  SamplingParams params;
+  params.steps = 10;
+  params.eta = 1.0;
+  Rng rng_a(7), rng_b(8);
+  auto coalesced = model_->SynthesizeCoalesced({{5, &rng_a}, {9, &rng_b}}, params);
+  ASSERT_TRUE(coalesced.ok()) << coalesced.status().ToString();
+  Rng solo_a(7), solo_b(8);
+  ExpectTablesEqual(coalesced.Value()[0],
+                    model_->Synthesize(5, &solo_a, params).Value());
+  ExpectTablesEqual(coalesced.Value()[1],
+                    model_->Synthesize(9, &solo_b, params).Value());
+}
+
+TEST_F(ServeTest, CoalescedRejectsInvalidRequests) {
+  Rng rng(1);
+  EXPECT_FALSE(model_->SynthesizeCoalesced({}).ok());
+  EXPECT_FALSE(model_->SynthesizeCoalesced({{0, &rng}}).ok());
+  EXPECT_FALSE(model_->SynthesizeCoalesced({{5, nullptr}}).ok());
+}
+
+// --- RequestBatcher ---------------------------------------------------------
+
+/// Batch function that records calls and returns one tiny table per member
+/// tagged with (seed, batch ordinal) so fan-out can be asserted exactly.
+struct RecordingBatchFn {
+  struct Call {
+    std::vector<RequestBatcher::Request> batch;
+  };
+  std::vector<Call>* calls;
+
+  Result<std::vector<Table>> operator()(
+      const std::vector<RequestBatcher::Request>& batch,
+      const SamplingParams&) const {
+    calls->push_back({batch});
+    std::vector<Table> tables;
+    for (const RequestBatcher::Request& request : batch) {
+      Schema schema({ColumnSpec::Numeric("seed"), ColumnSpec::Numeric("call")});
+      Table t(schema);
+      for (int r = 0; r < request.rows; ++r) {
+        EXPECT_TRUE(t.AppendRow({static_cast<double>(request.seed),
+                                 static_cast<double>(calls->size())})
+                        .ok());
+      }
+      tables.push_back(std::move(t));
+    }
+    return tables;
+  }
+};
+
+TEST(BatcherTest, CoalescesQueuedRequestsIntoOneBatch) {
+  std::vector<RecordingBatchFn::Call> calls;
+  BatcherOptions options;
+  options.start_worker = false;  // deterministic manual dispatch
+  RequestBatcher batcher(options, RecordingBatchFn{&calls});
+
+  std::vector<std::future<Result<Table>>> futures;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    RequestBatcher::Request request;
+    request.rows = static_cast<int>(seed);
+    request.seed = seed;
+    auto submitted = batcher.SubmitAsync(request);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(submitted).Value());
+  }
+  EXPECT_EQ(batcher.QueueDepth(), 4);
+
+  EXPECT_EQ(batcher.RunOnce(), 4);
+  ASSERT_EQ(calls.size(), 1u);  // ONE coalesced pass, not four
+  ASSERT_EQ(calls[0].batch.size(), 4u);
+  EXPECT_EQ(batcher.QueueDepth(), 0);
+
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Result<Table> result = futures[seed - 1].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result.Value().num_rows(), static_cast<int>(seed));
+    EXPECT_EQ(result.Value().value(0, 0), static_cast<double>(seed));
+  }
+}
+
+TEST(BatcherTest, BackpressureRejectsWithUnavailable) {
+  std::vector<RecordingBatchFn::Call> calls;
+  BatcherOptions options;
+  options.start_worker = false;
+  options.max_queue_depth = 2;
+  RequestBatcher batcher(options, RecordingBatchFn{&calls});
+
+  RequestBatcher::Request request;
+  request.rows = 1;
+  ASSERT_TRUE(batcher.SubmitAsync(request).ok());
+  ASSERT_TRUE(batcher.SubmitAsync(request).ok());
+  auto rejected = batcher.SubmitAsync(request);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+
+  // Draining the queue re-admits traffic.
+  EXPECT_EQ(batcher.RunOnce(), 2);
+  EXPECT_TRUE(batcher.SubmitAsync(request).ok());
+}
+
+TEST(BatcherTest, DifferentParamsNeverShareABatch) {
+  std::vector<RecordingBatchFn::Call> calls;
+  BatcherOptions options;
+  options.start_worker = false;
+  RequestBatcher batcher(options, RecordingBatchFn{&calls});
+
+  RequestBatcher::Request ddim;
+  ddim.rows = 1;
+  ddim.params.steps = 25;
+  ddim.params.eta = 0.0;
+  RequestBatcher::Request ancestral = ddim;
+  ancestral.params.eta = 1.0;
+  ASSERT_TRUE(batcher.SubmitAsync(ddim).ok());
+  ASSERT_TRUE(batcher.SubmitAsync(ancestral).ok());
+  ASSERT_TRUE(batcher.SubmitAsync(ddim).ok());
+
+  // FIFO dispatch splits on the params boundary: 1, then 1, then 1.
+  EXPECT_EQ(batcher.RunOnce(), 1);
+  EXPECT_EQ(batcher.RunOnce(), 1);
+  EXPECT_EQ(batcher.RunOnce(), 1);
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[0].batch[0].params.eta, 0.0);
+  EXPECT_EQ(calls[1].batch[0].params.eta, 1.0);
+  EXPECT_EQ(calls[2].batch[0].params.eta, 0.0);
+}
+
+TEST(BatcherTest, BatchCapsBoundOnePass) {
+  std::vector<RecordingBatchFn::Call> calls;
+  BatcherOptions options;
+  options.start_worker = false;
+  options.max_batch_requests = 2;
+  RequestBatcher batcher(options, RecordingBatchFn{&calls});
+  RequestBatcher::Request request;
+  request.rows = 1;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(batcher.SubmitAsync(request).ok());
+  EXPECT_EQ(batcher.RunOnce(), 2);
+  EXPECT_EQ(batcher.RunOnce(), 2);
+  EXPECT_EQ(batcher.RunOnce(), 1);
+  EXPECT_EQ(batcher.RunOnce(), 0);
+}
+
+TEST(BatcherTest, BatchErrorFailsEveryMemberButNotLaterOnes) {
+  int calls = 0;
+  BatcherOptions options;
+  options.start_worker = false;
+  RequestBatcher batcher(
+      options, [&calls](const std::vector<RequestBatcher::Request>& batch,
+                        const SamplingParams&) -> Result<std::vector<Table>> {
+        ++calls;
+        if (calls == 1) return Status::Internal("induced batch failure");
+        std::vector<Table> tables;
+        for (size_t i = 0; i < batch.size(); ++i) tables.push_back(Table());
+        return tables;
+      });
+  RequestBatcher::Request request;
+  request.rows = 1;
+  auto f1 = batcher.SubmitAsync(request);
+  auto f2 = batcher.SubmitAsync(request);
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  EXPECT_EQ(batcher.RunOnce(), 2);
+  EXPECT_EQ(f1.Value().get().status().code(), StatusCode::kInternal);
+  EXPECT_EQ(f2.Value().get().status().code(), StatusCode::kInternal);
+
+  auto f3 = batcher.SubmitAsync(request);
+  ASSERT_TRUE(f3.ok());
+  EXPECT_EQ(batcher.RunOnce(), 1);
+  EXPECT_TRUE(f3.Value().get().ok());
+}
+
+// --- ModelCache -------------------------------------------------------------
+
+TEST_F(ServeTest, CacheLoadsLazilyAndServesHits) {
+  ModelCache cache;
+  ASSERT_TRUE(cache.Register("loan", checkpoint_path_).ok());
+  EXPECT_EQ(cache.LoadedCount(), 0);  // lazy: nothing loaded yet
+  auto first = cache.Get("loan");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(cache.LoadedCount(), 1);
+  auto second = cache.Get("loan");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.Value().get(), second.Value().get());  // same residency
+}
+
+TEST_F(ServeTest, CacheUnknownDeploymentIsNotFound) {
+  ModelCache cache;
+  EXPECT_EQ(cache.Get("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServeTest, CacheEvictsLeastRecentlyUsed) {
+  ModelCacheOptions options;
+  options.capacity = 2;
+  ModelCache cache(options);
+  ASSERT_TRUE(cache.Register("a", checkpoint_path_).ok());
+  ASSERT_TRUE(cache.Register("b", checkpoint_path_).ok());
+  ASSERT_TRUE(cache.Register("c", checkpoint_path_).ok());
+  ASSERT_TRUE(cache.Get("a").ok());
+  ASSERT_TRUE(cache.Get("b").ok());
+  auto a_resident = cache.Get("a");  // bumps a above b
+  ASSERT_TRUE(a_resident.ok());
+  ASSERT_TRUE(cache.Get("c").ok());  // evicts b, the LRU entry
+  EXPECT_EQ(cache.LoadedCount(), 2);
+  // a stayed resident across the eviction...
+  auto a_again = cache.Get("a");
+  ASSERT_TRUE(a_again.ok());
+  EXPECT_EQ(a_again.Value().get(), a_resident.Value().get());
+  // ...and b reloads on demand (registration survives eviction).
+  EXPECT_TRUE(cache.Get("b").ok());
+}
+
+TEST_F(ServeTest, CacheHotReloadsWhenCheckpointChanges) {
+  const std::string path = ::testing::TempDir() + "/serve_reload.ckpt";
+  ASSERT_TRUE(model_->SaveCheckpoint(path).ok());
+  ModelCache cache;
+  ASSERT_TRUE(cache.Register("live", path).ok());
+  auto before = cache.Get("live");
+  ASSERT_TRUE(before.ok());
+
+  // Retrain a structurally different model (3 clients -> different file
+  // size, so the mtime/size generation check must fire) and overwrite.
+  Table data = GeneratePaperDataset("loan", 200, 9).Value();
+  SiloFuse replacement(TinyOptions(3));
+  Rng rng(10);
+  ASSERT_TRUE(replacement.Fit(data, &rng).ok());
+  ASSERT_TRUE(replacement.SaveCheckpoint(path).ok());
+
+  auto after = cache.Get("live");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_NE(after.Value().get(), before.Value().get());
+  EXPECT_EQ(after.Value()->num_clients(), 3);
+  // The drained handle from before the swap still works.
+  Rng old_rng(3);
+  EXPECT_TRUE(before.Value()->Synthesize(5, &old_rng).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, CacheConcurrentGetsAreSingleFlight) {
+  ModelCache cache;
+  ASSERT_TRUE(cache.Register("loan", checkpoint_path_).ok());
+  constexpr int kThreads = 4;
+  std::vector<std::shared_ptr<SiloFuse>> models(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &cache, &models] {
+      auto model = cache.Get("loan");
+      if (model.ok()) models[t] = model.Value();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(models[t], nullptr);
+    EXPECT_EQ(models[t].get(), models[0].get());  // one load, shared by all
+  }
+}
+
+// --- SynthesisServer --------------------------------------------------------
+
+TEST_F(ServeTest, ServerConcurrentRequestsByteIdenticalToSolo) {
+  ServeOptions options;
+  options.batcher.max_linger_us = 20000;  // wide window to force coalescing
+  SynthesisServer server(options);
+  ASSERT_TRUE(server.RegisterDeployment("loan", checkpoint_path_).ok());
+
+  constexpr int kClients = 4;
+  std::vector<Result<Table>> responses(kClients, Status::Internal("unset"));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([t, &server, &responses] {
+      ServeRequest request;
+      request.deployment = "loan";
+      request.rows = 6 + t;
+      request.seed = 1000 + static_cast<uint64_t>(t);
+      responses[t] = server.Synthesize(request);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Each response equals a solo run at the SERVING schedule (25-step DDIM).
+  SamplingParams serving = server.options().defaults;
+  for (int t = 0; t < kClients; ++t) {
+    ASSERT_TRUE(responses[t].ok()) << responses[t].status().ToString();
+    Rng solo_rng(1000 + static_cast<uint64_t>(t));
+    auto solo = model_->Synthesize(6 + t, &solo_rng, serving);
+    ASSERT_TRUE(solo.ok());
+    ExpectTablesEqual(responses[t].Value(), solo.Value());
+  }
+}
+
+TEST_F(ServeTest, ServerValidatesRequests) {
+  SynthesisServer server;
+  ASSERT_TRUE(server.RegisterDeployment("loan", checkpoint_path_).ok());
+  ServeRequest request;
+  request.deployment = "loan";
+  request.rows = 0;
+  EXPECT_EQ(server.Synthesize(request).status().code(),
+            StatusCode::kInvalidArgument);
+  request.rows = server.options().max_rows_per_request + 1;
+  EXPECT_EQ(server.Synthesize(request).status().code(),
+            StatusCode::kInvalidArgument);
+  request.rows = 5;
+  request.deployment = "unknown";
+  EXPECT_EQ(server.Synthesize(request).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServeTest, ServerStreamChunksConcatenateToFullResponse) {
+  ServeOptions options;
+  options.stream_chunk_rows = 4;
+  options.batcher.max_linger_us = 0;
+  SynthesisServer server(options);
+  ASSERT_TRUE(server.RegisterDeployment("loan", checkpoint_path_).ok());
+
+  ServeRequest request;
+  request.deployment = "loan";
+  request.rows = 10;
+  request.seed = 77;
+  std::vector<Table> chunks;
+  ASSERT_TRUE(server
+                  .SynthesizeStream(request,
+                                    [&chunks](const Table& chunk) {
+                                      chunks.push_back(chunk);
+                                      return Status::OK();
+                                    })
+                  .ok());
+  ASSERT_EQ(chunks.size(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(chunks[0].num_rows(), 4);
+  EXPECT_EQ(chunks[2].num_rows(), 2);
+  auto whole = Table::ConcatRows(chunks);
+  ASSERT_TRUE(whole.ok());
+  ExpectTablesEqual(whole.Value(),
+                    server.Synthesize(request).Value());  // same seed/bytes
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace silofuse

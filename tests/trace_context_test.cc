@@ -404,6 +404,19 @@ TEST_F(TraceContextTest, BenchCompareOnlyGatesTimeLikeKeys) {
   EXPECT_FALSE(report.entries[0].gated);
 }
 
+TEST_F(TraceContextTest, BenchCompareGatesTimingsInsideObjectArrays) {
+  // Keys flattened out of an array of objects ("runs[0].p99_ms") carry a
+  // bracket mid-key; the _ms leaf must still be gated. Serving bench
+  // latency percentiles are published exactly this way.
+  const json::Value baseline =
+      ParseOrDie(R"({"runs": [{"p99_ms": 10.0, "rps": 50}]})");
+  const json::Value slow =
+      ParseOrDie(R"({"runs": [{"p99_ms": 25.0, "rps": 50}]})");
+  const obs::CompareReport report = obs::CompareBenchJson(baseline, {slow});
+  EXPECT_EQ(report.exit_code(), 2);
+  EXPECT_EQ(report.hard_regressions, 1);
+}
+
 TEST_F(TraceContextTest, BenchCompareGatesMemKeysOnAbsoluteGrowthOnly) {
   // +2 MiB peak: over the 1 MiB absolute slack, a regression even though
   // the ratio (1.2x) is under rel_slack-style thresholds.
