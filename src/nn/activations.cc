@@ -35,6 +35,12 @@ void ForActivation(size_t n, Fn&& fn) {
 // epilogue, and regardless of how many rows share the activation pass.
 // That determinism is load-bearing: the serving layer promises that a row
 // sampled inside a coalesced batch matches the same row sampled solo.
+//
+// INFERENCE ONLY. The approximation differs from libm by a few ulps (and
+// its clamped tail never reaches exactly +/-1), so the training path —
+// forward under training=true and the gradient — stays on std::tanh to
+// keep training trajectories, recorded baselines, and checkpoints
+// bit-identical to the pre-approximation numerics.
 inline float FastTanh(float x) {
   const float c = std::min(9.0f, std::max(-9.0f, x));
   const float x2 = c * c;
@@ -59,9 +65,14 @@ float GeluScalar(float x) {
   return 0.5f * x * (1.0f + FastTanh(inner));
 }
 
+float GeluTrainScalar(float x) {
+  const float inner = kGeluCoef * (x + kGeluCubic * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
 float GeluGradScalar(float x) {
   const float u = kGeluCoef * (x + kGeluCubic * x * x * x);
-  const float t = FastTanh(u);
+  const float t = std::tanh(u);  // exact gradient of the TRAINING forward
   const float du = kGeluCoef * (1.0f + 3.0f * kGeluCubic * x * x);
   return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
 }
@@ -80,11 +91,15 @@ Matrix ApplyFast(const Matrix& input, Fn fn) {
 }  // namespace
 
 Matrix Gelu::Forward(const Matrix& input, bool training) {
-  // The cache only feeds Backward; inference paths (sampling, serving)
-  // skip the extra allocation + copy.
-  if (training) cached_input_ = input;
-  // The lambda (not a raw function pointer) lets the compiler inline
-  // GeluScalar into the elementwise loop and vectorize FastTanh.
+  if (training) {
+    // Training keeps the input cache (it feeds Backward) and the libm
+    // forward that GeluGradScalar differentiates exactly.
+    cached_input_ = input;
+    return ApplyFast(input, [](float v) { return GeluTrainScalar(v); });
+  }
+  // Inference (sampling, serving): no cache copy, and the lambda (not a
+  // raw function pointer) lets the compiler inline GeluScalar into the
+  // elementwise loop and vectorize FastTanh.
   return ApplyFast(input, [](float v) { return GeluScalar(v); });
 }
 

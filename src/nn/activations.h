@@ -62,8 +62,13 @@ class Sigmoid : public Module {
   Matrix cached_output_;
 };
 
-/// Elementwise GELU on a plain matrix (shared by module and tests).
+/// Elementwise GELU (shared by module and tests). GeluScalar is the
+/// inference forward (deterministic FastTanh approximation, a few ulps
+/// from libm); GeluTrainScalar is the libm-tanh forward used under
+/// training=true, and GeluGradScalar is its exact derivative — training
+/// numerics are unchanged by the fast inference path.
 float GeluScalar(float x);
+float GeluTrainScalar(float x);
 float GeluGradScalar(float x);
 
 }  // namespace silofuse

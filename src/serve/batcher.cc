@@ -1,5 +1,6 @@
 #include "serve/batcher.h"
 
+#include <atomic>
 #include <chrono>
 #include <utility>
 
@@ -36,6 +37,15 @@ bool SameParams(const SamplingParams& a, const SamplingParams& b) {
   return a.steps == b.steps && a.eta == b.eta;
 }
 
+// The server runs one batcher per deployment but serve.queue_depth is a
+// single gauge, so each batcher publishes the DELTA of its own queue size
+// against this process-wide total instead of Set()ing its size directly —
+// otherwise concurrent batchers would overwrite each other and a dying
+// batcher would zero out its siblings' contributions. Two racing Set()s
+// may momentarily publish totals out of order; the gauge is last-write-
+// wins and converges as soon as the queues go quiet.
+std::atomic<int64_t> g_queue_depth_total{0};
+
 }  // namespace
 
 RequestBatcher::RequestBatcher(BatcherOptions options, BatchFn batch_fn)
@@ -53,7 +63,10 @@ RequestBatcher::~RequestBatcher() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
-    if (!options_.start_worker) orphans.swap(queue_);
+    if (!options_.start_worker) {
+      orphans.swap(queue_);
+      PublishQueueDepthLocked();  // withdraw ONLY this batcher's share
+    }
   }
   queue_cv_.notify_all();
   if (worker_.joinable()) worker_.join();  // worker drains the queue first
@@ -61,7 +74,16 @@ RequestBatcher::~RequestBatcher() {
     pending.promise.set_value(
         Status::Unavailable("batcher destroyed before dispatch"));
   }
-  Metrics().queue_depth->Set(0.0);
+}
+
+void RequestBatcher::PublishQueueDepthLocked() {
+  const int64_t depth = static_cast<int64_t>(queue_.size());
+  const int64_t delta = depth - published_queue_depth_;
+  if (delta == 0) return;
+  published_queue_depth_ = depth;
+  const int64_t total =
+      g_queue_depth_total.fetch_add(delta, std::memory_order_relaxed) + delta;
+  Metrics().queue_depth->Set(static_cast<double>(total));
 }
 
 Result<std::future<Result<Table>>> RequestBatcher::SubmitAsync(
@@ -82,7 +104,7 @@ Result<std::future<Result<Table>>> RequestBatcher::SubmitAsync(
           "); retry with backoff");
     }
     queue_.push_back(std::move(pending));
-    Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+    PublishQueueDepthLocked();
   }
   queue_cv_.notify_one();
   return future;
@@ -114,7 +136,7 @@ std::vector<RequestBatcher::Pending> RequestBatcher::NextBatchLocked() {
     batch.push_back(std::move(front));
     queue_.pop_front();
   }
-  Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+  PublishQueueDepthLocked();
   return batch;
 }
 

@@ -48,8 +48,12 @@ struct BatcherOptions {
 /// unaffected.
 ///
 /// Histograms serve.batch.requests / serve.batch.rows record realized batch
-/// shapes; gauge serve.queue_depth tracks the pending count; counter
-/// serve.rejected counts admission-control rejections.
+/// shapes and counter serve.rejected counts admission-control rejections,
+/// both aggregated across every batcher (deployment) in the process. Gauge
+/// serve.queue_depth is likewise the TOTAL pending count across all live
+/// batchers: each batcher publishes deltas of its own queue size and
+/// withdraws its contribution on destruction, so concurrent batchers never
+/// clobber each other's share.
 class RequestBatcher {
  public:
   /// One caller's order: `rows` synthetic rows from a deployment-scoped
@@ -98,6 +102,10 @@ class RequestBatcher {
   /// queue. Caller holds mu_. Empty when the queue is empty.
   std::vector<Pending> NextBatchLocked();
 
+  /// Folds the change in this batcher's queue size into the process-wide
+  /// serve.queue_depth gauge (sum over all batchers). Caller holds mu_.
+  void PublishQueueDepthLocked();
+
   /// Runs `batch` through batch_fn_ and fulfills its promises. No lock.
   void Dispatch(std::vector<Pending> batch);
 
@@ -109,6 +117,7 @@ class RequestBatcher {
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;  // worker wakeup: arrival or stop
   std::deque<Pending> queue_;
+  int64_t published_queue_depth_ = 0;  // this batcher's share of the gauge
   bool stop_ = false;
   std::thread worker_;  // joinable only when options_.start_worker
 };

@@ -102,12 +102,18 @@ Result<std::shared_ptr<SiloFuse>> ModelCache::Get(const std::string& name) {
     entry.loading = true;
     const std::string path = entry.path;
     lock.unlock();
+    if (load_hook_for_test_) load_hook_for_test_();
     auto loaded = SiloFuse::LoadCheckpoint(path);
     lock.lock();
-    // Re-find: the map may have rehashed-ish (std::map is stable, but the
-    // entry may have been re-registered while we loaded).
+    // Re-find: the entry may have been re-registered while we loaded
+    // (hot-redeploy swaps the path without waiting for in-flight loads).
     it = entries_.find(name);
     if (it == entries_.end() || it->second.path != path) {
+      // This loader still owns the single-flight latch even though its
+      // target changed under it: release the latch before bailing, or every
+      // later Get() of this name waits on loaded_cv_ for a verdict that
+      // never comes, permanently wedging the deployment.
+      if (it != entries_.end()) it->second.loading = false;
       loaded_cv_.notify_all();
       return Status::Unavailable("deployment '" + name +
                                  "' was re-registered during load");
@@ -137,6 +143,11 @@ Result<std::shared_ptr<SiloFuse>> ModelCache::Get(const std::string& name) {
     metrics.loaded->Set(static_cast<double>(LoadedCountLocked()));
     return target.model;
   }
+}
+
+bool ModelCache::Registered(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.find(name) != entries_.end();
 }
 
 std::vector<std::string> ModelCache::Deployments() const {

@@ -2,6 +2,7 @@
 #define SILOFUSE_SERVE_MODEL_CACHE_H_
 
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -54,11 +55,23 @@ class ModelCache {
   /// LoadCheckpoint status (and are retried on the next Get).
   Result<std::shared_ptr<SiloFuse>> Get(const std::string& name);
 
+  /// True when `name` has been registered (no load, no residency check).
+  /// Cheap enough for per-request admission: lets the server reject
+  /// unknown deployments before allocating any per-deployment state.
+  bool Registered(const std::string& name) const;
+
   /// Registered deployment names, sorted.
   std::vector<std::string> Deployments() const;
 
   /// Number of models currently resident (tests/metrics).
   int LoadedCount() const;
+
+  /// Test-only: runs on the loading thread after it drops the cache lock
+  /// and before LoadCheckpoint, letting tests deterministically interleave
+  /// Register() with an in-flight load. Set before any concurrent use.
+  void SetLoadHookForTest(std::function<void()> hook) {
+    load_hook_for_test_ = std::move(hook);
+  }
 
  private:
   struct Entry {
@@ -78,6 +91,7 @@ class ModelCache {
   int LoadedCountLocked() const;
 
   ModelCacheOptions options_;
+  std::function<void()> load_hook_for_test_;  // called with mu_ NOT held
   mutable std::mutex mu_;
   std::condition_variable loaded_cv_;
   std::map<std::string, Entry> entries_;

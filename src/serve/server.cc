@@ -48,6 +48,11 @@ Status SynthesisServer::RegisterDeployment(const std::string& name,
   return cache_.Register(name, checkpoint_path);
 }
 
+int SynthesisServer::ActiveBatchers() const {
+  std::lock_guard<std::mutex> lock(batchers_mu_);
+  return static_cast<int>(batchers_.size());
+}
+
 RequestBatcher* SynthesisServer::BatcherFor(const std::string& deployment) {
   std::lock_guard<std::mutex> lock(batchers_mu_);
   auto it = batchers_.find(deployment);
@@ -93,6 +98,13 @@ Result<Table> SynthesisServer::Synthesize(const ServeRequest& request) {
         "request rows " + std::to_string(request.rows) +
         " exceed max_rows_per_request " +
         std::to_string(options_.max_rows_per_request));
+  }
+  // Admission happens BEFORE BatcherFor: a batcher costs a worker thread
+  // and a permanent map entry, so a stream of unknown (typo'd or hostile)
+  // deployment names must bounce here instead of minting one per name.
+  if (!cache_.Registered(request.deployment)) {
+    return Status::NotFound("deployment '" + request.deployment +
+                            "' is not registered");
   }
   // Resolve the schedule up front: batches may only merge requests with
   // identical params, and sentinels resolve to the SERVING defaults here

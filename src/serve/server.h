@@ -72,7 +72,8 @@ class SynthesisServer {
 
   /// Serves one request: validates, enqueues into the deployment's batcher,
   /// waits for its coalesced pass, returns the full table. kUnavailable
-  /// under backpressure, kNotFound for unknown deployments.
+  /// under backpressure; kNotFound for unknown deployments, rejected
+  /// before any per-deployment batcher state is created.
   Result<Table> Synthesize(const ServeRequest& request);
 
   /// Receives consecutive row chunks of one response, in order. A non-OK
@@ -88,9 +89,14 @@ class SynthesisServer {
   ModelCache* cache() { return &cache_; }
   const ServeOptions& options() const { return options_; }
 
+  /// Number of per-deployment batchers (worker threads) currently alive.
+  /// At most one per registered deployment that has served traffic.
+  int ActiveBatchers() const;
+
  private:
   /// Lazily creates the deployment's batcher (whose batch function samples
-  /// through the cache).
+  /// through the cache). Only reached for registered deployments —
+  /// Synthesize validates against the cache first.
   RequestBatcher* BatcherFor(const std::string& deployment);
 
   /// One coalesced pass for `deployment`: cache fetch + SynthesizeCoalesced.
@@ -101,7 +107,7 @@ class SynthesisServer {
 
   ServeOptions options_;
   ModelCache cache_;
-  std::mutex batchers_mu_;
+  mutable std::mutex batchers_mu_;
   // Destroyed before cache_ (reverse member order): batcher workers may
   // still be sampling on cached models during their drain.
   std::map<std::string, std::unique_ptr<RequestBatcher>> batchers_;

@@ -103,6 +103,28 @@ TEST(GradCheckTest, Gelu) {
   CheckGradients(&layer, input, 4, 5);
 }
 
+// Training forwards must stay on libm tanh (bit-identical to checkpoints
+// and baselines recorded before the fast inference path existed); only
+// inference forwards take the FastTanh approximation.
+TEST(GeluNumericsTest, TrainingAndInferenceForwardsUseTheirOwnTanh) {
+  Gelu layer;
+  Rng rng(7);
+  Matrix input = Matrix::RandomNormal(6, 3, &rng);
+  Matrix train = layer.Forward(input, /*training=*/true);
+  Matrix infer = layer.Forward(input, /*training=*/false);
+  for (int r = 0; r < input.rows(); ++r) {
+    for (int c = 0; c < input.cols(); ++c) {
+      EXPECT_EQ(train.at(r, c), GeluTrainScalar(input.at(r, c)));
+      EXPECT_EQ(infer.at(r, c), GeluScalar(input.at(r, c)));
+    }
+  }
+  // Deep in the saturated tail libm tanh is exactly 1, so the libm GELU of
+  // a large x is exactly x — a bit pattern the clamped rational
+  // approximation need not reproduce. The training path must hit it.
+  Matrix big(1, 1, 20.0f);
+  EXPECT_EQ(layer.Forward(big, /*training=*/true).at(0, 0), 20.0f);
+}
+
 TEST(GradCheckTest, Relu) {
   Rng rng(4);
   Relu layer;

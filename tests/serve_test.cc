@@ -3,6 +3,7 @@
 // hot-reload, and the multi-tenant SynthesisServer end to end. The
 // concurrency cases run under the TSan CI job.
 
+#include <chrono>
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -14,6 +15,7 @@
 
 #include "core/silofuse.h"
 #include "data/generators/paper_datasets.h"
+#include "obs/metrics.h"
 #include "serve/batcher.h"
 #include "serve/model_cache.h"
 #include "serve/server.h"
@@ -268,6 +270,30 @@ TEST(BatcherTest, BatchErrorFailsEveryMemberButNotLaterOnes) {
   EXPECT_TRUE(f3.Value().get().ok());
 }
 
+TEST(BatcherTest, QueueDepthGaugeAggregatesAcrossBatchers) {
+  obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("serve.queue_depth");
+  const double base = gauge->Value();
+  std::vector<RecordingBatchFn::Call> calls_a, calls_b;
+  BatcherOptions options;
+  options.start_worker = false;
+  auto a = std::make_unique<RequestBatcher>(options, RecordingBatchFn{&calls_a});
+  auto b = std::make_unique<RequestBatcher>(options, RecordingBatchFn{&calls_b});
+  RequestBatcher::Request request;
+  request.rows = 1;
+  ASSERT_TRUE(a->SubmitAsync(request).ok());
+  ASSERT_TRUE(a->SubmitAsync(request).ok());
+  ASSERT_TRUE(b->SubmitAsync(request).ok());
+  // The gauge is the SUM across batchers, not whichever wrote last.
+  EXPECT_EQ(gauge->Value(), base + 3);
+  // Destroying one batcher (orphaning its two queued requests) withdraws
+  // only its own contribution, not the surviving batcher's.
+  a.reset();
+  EXPECT_EQ(gauge->Value(), base + 1);
+  EXPECT_EQ(b->RunOnce(), 1);
+  EXPECT_EQ(gauge->Value(), base);
+}
+
 // --- ModelCache -------------------------------------------------------------
 
 TEST_F(ServeTest, CacheLoadsLazilyAndServesHits) {
@@ -353,6 +379,38 @@ TEST_F(ServeTest, CacheConcurrentGetsAreSingleFlight) {
   }
 }
 
+TEST_F(ServeTest, CacheReleasesLoadLatchWhenReRegisteredDuringLoad) {
+  // Hot-redeploy race: Register() swaps the path while the single-flight
+  // loader is inside LoadCheckpoint. The loader must release its 'loading'
+  // latch when it discovers the swap, or the deployment wedges forever.
+  const std::string swap_path = ::testing::TempDir() + "/serve_swap.ckpt";
+  ASSERT_TRUE(model_->SaveCheckpoint(swap_path).ok());
+  ModelCache cache;
+  ASSERT_TRUE(cache.Register("live", checkpoint_path_).ok());
+  bool swapped = false;
+  cache.SetLoadHookForTest([&cache, &swapped, &swap_path] {
+    if (swapped) return;  // only the first load races with the re-register
+    swapped = true;
+    EXPECT_TRUE(cache.Register("live", swap_path).ok());
+  });
+  auto raced = cache.Get("live");
+  ASSERT_FALSE(raced.ok());
+  EXPECT_EQ(raced.status().code(), StatusCode::kUnavailable);
+
+  // The next Get must become the new loader and serve the swapped path —
+  // run it on another thread so a leaked latch fails the test instead of
+  // hanging it.
+  auto next = std::async(std::launch::async,
+                         [&cache] { return cache.Get("live"); });
+  ASSERT_EQ(next.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "single-flight latch leaked: Get() after a re-register-during-load "
+         "waits forever";
+  auto reloaded = next.get();
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  std::remove(swap_path.c_str());
+}
+
 // --- SynthesisServer --------------------------------------------------------
 
 TEST_F(ServeTest, ServerConcurrentRequestsByteIdenticalToSolo) {
@@ -400,6 +458,28 @@ TEST_F(ServeTest, ServerValidatesRequests) {
   request.rows = 5;
   request.deployment = "unknown";
   EXPECT_EQ(server.Synthesize(request).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ServeTest, ServerUnknownDeploymentCreatesNoBatcherState) {
+  SynthesisServer server;
+  ASSERT_TRUE(server.RegisterDeployment("loan", checkpoint_path_).ok());
+  // A stream of unique bogus names must not mint a worker thread + map
+  // entry each: kNotFound has to land before any batcher is created.
+  for (int i = 0; i < 16; ++i) {
+    ServeRequest request;
+    request.deployment = "bogus-" + std::to_string(i);
+    request.rows = 1;
+    EXPECT_EQ(server.Synthesize(request).status().code(),
+              StatusCode::kNotFound);
+  }
+  EXPECT_EQ(server.ActiveBatchers(), 0);
+
+  ServeRequest real;
+  real.deployment = "loan";
+  real.rows = 2;
+  real.seed = 5;
+  ASSERT_TRUE(server.Synthesize(real).ok());
+  EXPECT_EQ(server.ActiveBatchers(), 1);
 }
 
 TEST_F(ServeTest, ServerStreamChunksConcatenateToFullResponse) {
