@@ -12,7 +12,21 @@
 // serial counterpart: a speedup only counts if the answer is unchanged.
 //
 // Open loop: Poisson arrivals at fixed offered loads; reports completed /
-// rejected counts and p50/p95/p99 latency per load.
+// rejected counts, the reject rate (gated as a _pct key by bench_compare:
+// absolute percentage-point slack, since rates near zero make relative
+// thresholds meaningless), and p50/p95/p99 latency per load.
+//
+// Two observability sections ride along in the JSON:
+//   "phases"          - interpolated p50/p95/p99 of the server's own
+//                       serve.{queue,linger,sample,decode,stream}_ms
+//                       histograms over the whole bench run, so the gate
+//                       catches a regression in any single phase even when
+//                       end-to-end latency hides it.
+//   "flight_overhead" - coalesced closed-loop throughput with the flight
+//                       recorder disabled vs enabled (best-of-N,
+//                       alternating). overhead_pct is gated at the _pct
+//                       class slack (2 points): the always-on recorder must
+//                       stay within 2% of off.
 //
 // Flags: --smoke shrinks training and request counts for CI. Honors
 // SILOFUSE_BENCH_SCALE for the training budget and --metrics-out /
@@ -34,6 +48,7 @@
 #include "common/rng.h"
 #include "core/silofuse.h"
 #include "data/generators/paper_datasets.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "serve/server.h"
 
@@ -167,6 +182,7 @@ struct OpenLoopResult {
   int requests = 0;
   int completed = 0;
   int rejected = 0;
+  double reject_rate_pct = 0.0;
   double achieved_rps = 0.0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
@@ -216,6 +232,8 @@ OpenLoopResult RunOpenLoop(SynthesisServer* server, double offered_rps,
     result.rejected += rejected[i];
   }
   result.completed = static_cast<int>(completed_ms.size());
+  result.reject_rate_pct =
+      100.0 * static_cast<double>(result.rejected) / requests;
   result.achieved_rps =
       static_cast<double>(result.completed) / (wall_ms / 1000.0);
   result.p50_ms = Percentile(completed_ms, 0.50);
@@ -224,8 +242,96 @@ OpenLoopResult RunOpenLoop(SynthesisServer* server, double offered_rps,
   return result;
 }
 
+// One coalesced closed-loop burst (no serial baseline, no byte compare):
+// the unit of work for the recorder-overhead A/B below.
+double CoalescedRowsPerSec(SynthesisServer* server, int requests_per_client) {
+  const int requests = kConcurrency * requests_per_client;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kConcurrency);
+  for (int c = 0; c < kConcurrency; ++c) {
+    clients.emplace_back([c, server, requests_per_client] {
+      for (int r = 0; r < requests_per_client; ++r) {
+        ServeRequest request;
+        request.deployment = "bench";
+        request.rows = kRowsPerRequest;
+        request.seed = 30000 + static_cast<uint64_t>(c * requests_per_client + r);
+        if (!server->Synthesize(request).ok()) {
+          std::cerr << "overhead probe request failed\n";
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  const double wall_ms = ElapsedMs(start);
+  return static_cast<double>(requests) * kRowsPerRequest / (wall_ms / 1000.0);
+}
+
+struct OverheadResult {
+  double off_rows_per_s = 0.0;
+  double on_rows_per_s = 0.0;
+  double overhead_pct = 0.0;  // >= 0; throughput lost with recorder on
+};
+
+// Alternates recorder-off / recorder-on bursts and keeps the best
+// throughput of each mode (best-of-N rejects scheduler noise the same way
+// bench_compare's min-of-N does). Alternation, rather than all-off then
+// all-on, keeps slow drift (thermal, page cache) from biasing one mode.
+OverheadResult MeasureRecorderOverhead(SynthesisServer* server,
+                                       int requests_per_client, int reps) {
+  auto& flight = obs::FlightRecorder::Global();
+  const bool was_enabled = flight.enabled();
+  OverheadResult result;
+  for (int rep = 0; rep < reps; ++rep) {
+    flight.SetEnabled(false);
+    result.off_rows_per_s = std::max(
+        result.off_rows_per_s, CoalescedRowsPerSec(server, requests_per_client));
+    flight.SetEnabled(true);
+    result.on_rows_per_s = std::max(
+        result.on_rows_per_s, CoalescedRowsPerSec(server, requests_per_client));
+  }
+  flight.SetEnabled(was_enabled);
+  if (result.off_rows_per_s > 0.0) {
+    result.overhead_pct = std::max(
+        0.0, 100.0 * (result.off_rows_per_s - result.on_rows_per_s) /
+                 result.off_rows_per_s);
+  }
+  return result;
+}
+
+// p50/p95/p99 of each serve-phase histogram, interpolated from the
+// registry's bucket counts accumulated over the whole bench run.
+std::string PhasesJson() {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  static constexpr struct {
+    const char* key;    // JSON member under "phases"
+    const char* metric; // registry histogram name
+  } kPhases[] = {
+      {"queue", "serve.queue_ms"},   {"linger", "serve.linger_ms"},
+      {"sample", "serve.sample_ms"}, {"decode", "serve.decode_ms"},
+      {"stream", "serve.stream_ms"},
+  };
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& phase : kPhases) {
+    auto it = snap.histograms.find(phase.metric);
+    if (it == snap.histograms.end() || it->second.count == 0) continue;
+    const obs::HistogramSnapshot& h = it->second;
+    out << (first ? "" : ",") << "\n    \"" << phase.key << "\": {"
+        << "\"count\": " << h.count << ", \"p50_ms\": " << h.Quantile(0.50)
+        << ", \"p95_ms\": " << h.Quantile(0.95)
+        << ", \"p99_ms\": " << h.Quantile(0.99) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}";
+  return out.str();
+}
+
 std::string Json(bool smoke, const ClosedLoopResult& closed,
-                 const std::vector<OpenLoopResult>& open) {
+                 const std::vector<OpenLoopResult>& open,
+                 const OverheadResult& overhead, const std::string& phases) {
   std::ostringstream out;
   out << "{\n  \"bench\": \"serving\",\n";
   out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
@@ -250,11 +356,18 @@ std::string Json(bool smoke, const ClosedLoopResult& closed,
         << ", \"requests\": " << o.requests
         << ", \"completed\": " << o.completed
         << ", \"rejected\": " << o.rejected
+        << ", \"reject_rate_pct\": " << o.reject_rate_pct
         << ", \"achieved_rps\": " << o.achieved_rps
         << ", \"p50_ms\": " << o.p50_ms << ", \"p95_ms\": " << o.p95_ms
         << ", \"p99_ms\": " << o.p99_ms << "}";
   }
-  out << (open.empty() ? "" : "\n  ") << "]\n}\n";
+  out << (open.empty() ? "" : "\n  ") << "],\n";
+  out << "  \"phases\": " << phases << ",\n";
+  out << "  \"flight_overhead\": {\n";
+  out << "    \"recorder_off_rows_per_s\": " << overhead.off_rows_per_s
+      << ",\n";
+  out << "    \"recorder_on_rows_per_s\": " << overhead.on_rows_per_s << ",\n";
+  out << "    \"overhead_pct\": " << overhead.overhead_pct << "\n  }\n}\n";
   return out.str();
 }
 
@@ -347,12 +460,18 @@ int main(int argc, char** argv) {
     open.push_back(RunOpenLoop(&server, rps, workload.open_requests));
     const OpenLoopResult& o = open.back();
     std::cout << "  open loop " << o.offered_rps << " req/s: " << o.completed
-              << "/" << o.requests << " ok (" << o.rejected
-              << " rejected), p50 " << o.p50_ms << " ms, p95 " << o.p95_ms
-              << " ms, p99 " << o.p99_ms << " ms\n";
+              << "/" << o.requests << " ok (" << o.rejected << " rejected, "
+              << o.reject_rate_pct << "%), p50 " << o.p50_ms << " ms, p95 "
+              << o.p95_ms << " ms, p99 " << o.p99_ms << " ms\n";
   }
 
-  const std::string json = Json(smoke, closed, open);
+  const OverheadResult overhead = MeasureRecorderOverhead(
+      &server, workload.requests_per_client, smoke ? 2 : 3);
+  std::cout << "  flight recorder: off " << overhead.off_rows_per_s
+            << " rows/s, on " << overhead.on_rows_per_s << " rows/s  ->  "
+            << overhead.overhead_pct << "% overhead\n";
+
+  const std::string json = Json(smoke, closed, open, overhead, PhasesJson());
   std::ofstream("BENCH_serving.json") << json;
   std::cout << "\n" << json << "(written to BENCH_serving.json)\n";
   std::remove(checkpoint.c_str());

@@ -296,7 +296,7 @@ Result<Table> SiloFuse::Synthesize(int num_rows, Rng* rng,
 
 Result<std::vector<Table>> SiloFuse::SynthesizeCoalesced(
     const std::vector<CoalescedRequest>& requests,
-    const SamplingParams& params) {
+    const SamplingParams& params, CoalescedTiming* timing) {
   if (!fitted_) return Status::FailedPrecondition("Fit SiloFuse first");
   if (requests.empty()) {
     return Status::InvalidArgument("no requests to coalesce");
@@ -319,14 +319,21 @@ Result<std::vector<Table>> SiloFuse::SynthesizeCoalesced(
       params.steps > 0 ? params.steps : options_.base.inference_steps;
   const double eta =
       params.eta >= 0.0 ? params.eta : options_.base.sampling_eta;
-  if (trace_run_id_ == 0) trace_run_id_ = obs::NextTraceRunId();
-  obs::TraceContext run_ctx;
-  run_ctx.run_id = trace_run_id_;
+  // Serving installs a batch-scoped ambient context (request/batch ids)
+  // before calling in; only fall back to the model's own run id when no
+  // caller context is present, so serve spans keep their request identity.
+  obs::TraceContext run_ctx = obs::CurrentTraceContext();
+  if (!run_ctx.set()) {
+    if (trace_run_id_ == 0) trace_run_id_ = obs::NextTraceRunId();
+    run_ctx.run_id = trace_run_id_;
+  }
   obs::ScopedTraceContext run_scope(run_ctx);
   obs::ContextSpan synth_span("silofuse.synthesize_coalesced");
+  if (timing != nullptr) timing->sample_start_ns = obs::TraceNowNs();
   // One shared denoising pass over every request's rows...
   SF_ASSIGN_OR_RETURN(Matrix z, coordinator_->SampleLatentsCoalesced(
                                     block_rows, rngs, steps, eta));
+  if (timing != nullptr) timing->sample_end_ns = obs::TraceNowNs();
   // ... then per-request decoding: each request's slice goes through the
   // clients in the same order (and with the same rng) as its solo
   // Synthesize call, so decoder sampling draws line up exactly.

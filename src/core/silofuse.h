@@ -55,6 +55,15 @@ struct CoalescedRequest {
   Rng* rng = nullptr;
 };
 
+/// Phase boundary feedback from SynthesizeCoalesced for the serving layer's
+/// latency decomposition: timestamps on the trace epoch (obs::TraceNowNs).
+/// The shared denoising pass covers [sample_start_ns, sample_end_ns];
+/// per-request decode + reassembly runs from sample_end_ns until return.
+struct CoalescedTiming {
+  int64_t sample_start_ns = 0;
+  int64_t sample_end_ns = 0;
+};
+
 /// SiloFuse: cross-silo synthetic data generation with a distributed latent
 /// tabular diffusion model (the paper's core contribution).
 ///
@@ -114,9 +123,10 @@ class SiloFuse : public Synthesizer {
   /// without changing any caller's bytes. Runs entirely locally (no channel
   /// traffic): this is the decode-only hosting path, not the cross-silo
   /// protocol.
+  /// `timing`, when non-null, receives the sample/decode phase boundary.
   Result<std::vector<Table>> SynthesizeCoalesced(
       const std::vector<CoalescedRequest>& requests,
-      const SamplingParams& params = {});
+      const SamplingParams& params = {}, CoalescedTiming* timing = nullptr);
 
   std::string name() const override { return "SiloFuse"; }
 

@@ -58,6 +58,13 @@ bool MemLikeKey(const std::string& key) {
   return stem.size() >= n && stem.compare(stem.size() - n, n, kSuffix) == 0;
 }
 
+bool PctLikeKey(const std::string& key) {
+  const std::string stem = StripTrailingIndex(key);
+  constexpr const char* kSuffix = "_pct";
+  const size_t n = std::char_traits<char>::length(kSuffix);
+  return stem.size() >= n && stem.compare(stem.size() - n, n, kSuffix) == 0;
+}
+
 }  // namespace
 
 std::vector<std::pair<std::string, double>> FlattenNumericLeaves(
@@ -89,8 +96,9 @@ CompareReport CompareBenchJson(const json::Value& baseline,
   for (const auto& [key, base] : base_values) {
     const bool time_like = TimeLikeKey(key);
     const bool mem_like = !time_like && MemLikeKey(key);
+    const bool pct_like = !time_like && !mem_like && PctLikeKey(key);
     const bool gated =
-        !options.gate_time_keys_only || time_like || mem_like;
+        !options.gate_time_keys_only || time_like || mem_like || pct_like;
     auto it = current_values.find(key);
     if (it == current_values.end()) {
       if (gated) report.missing_in_current.push_back(key);
@@ -105,13 +113,21 @@ CompareReport CompareBenchJson(const json::Value& baseline,
     if (gated) {
       if (mem_like) {
         entry.regressed = entry.current - base > options.abs_slack_bytes;
+        entry.hard = entry.regressed && base > 0.0 &&
+                     entry.ratio > options.hard_factor;
+      } else if (pct_like) {
+        // Percentage points, not ratios: a reject rate going 0% -> 3% is a
+        // regression regardless of the undefined relative change.
+        const double delta = entry.current - base;
+        entry.regressed = delta > options.abs_slack_pct;
+        entry.hard = delta > options.hard_factor * options.abs_slack_pct;
       } else {
         const double rel_limit = base * (1.0 + options.rel_slack);
         entry.regressed = entry.current > rel_limit &&
                           entry.current - base > options.abs_slack_ms;
+        entry.hard = entry.regressed && base > 0.0 &&
+                     entry.ratio > options.hard_factor;
       }
-      entry.hard = entry.regressed && base > 0.0 &&
-                   entry.ratio > options.hard_factor;
     }
     if (entry.regressed) ++report.regressions;
     if (entry.hard) ++report.hard_regressions;

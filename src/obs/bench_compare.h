@@ -23,9 +23,15 @@ struct CompareOptions {
   /// counts are deterministic, so relative slack would let small buffers
   /// grow unboundedly while flagging noise-free 1-byte deltas on big ones.
   double abs_slack_bytes = 1 << 20;  // 1 MiB
-  /// Only keys with a time-like suffix (_ms, _us, _ns) or the memory suffix
-  /// (_bytes) are gated; counters and speedup ratios pass through as
-  /// informational rows.
+  /// Percentage keys (suffix _pct: reject rates, recorder overhead) are
+  /// gated on absolute percentage-point growth: a rate near zero would make
+  /// any relative threshold either meaningless (0 baseline) or hair-
+  /// trigger. current - baseline > abs_slack_pct regresses; more than
+  /// hard_factor times that is a hard failure.
+  double abs_slack_pct = 2.0;
+  /// Only keys with a time-like suffix (_ms, _us, _ns), the memory suffix
+  /// (_bytes), or the percentage suffix (_pct) are gated; counters and
+  /// speedup ratios pass through as informational rows.
   bool gate_time_keys_only = true;
 };
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "metrics/resemblance.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
@@ -165,6 +166,9 @@ void TrainingMonitor::MarkAborted(int64_t step) {
   SetGauge("health." + prefix_ + ".watchdog.abort_step",
            static_cast<double>(step));
   MetricsRegistry::Global().GetCounter("health.watchdog.aborts")->Increment();
+  // Post-mortem: preserve the flight recorder's recent serving/runtime
+  // events alongside the abort (counted no-op when no dump dir is set).
+  FlightRecorder::Global().DumpOnTrigger("watchdog_abort");
 }
 
 Status TrainingMonitor::OnStep(

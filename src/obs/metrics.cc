@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -370,6 +372,20 @@ TrainLoopTelemetry::~TrainLoopTelemetry() {
   }
 }
 
+std::string ExpandTelemetryPath(const std::string& path) {
+  std::string out;
+  out.reserve(path.size() + 8);
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (path[i] == '%' && i + 1 < path.size() && path[i + 1] == 'p') {
+      out += std::to_string(static_cast<int64_t>(::getpid()));
+      ++i;
+    } else {
+      out += path[i];
+    }
+  }
+  return out;
+}
+
 Status WriteMetricsJson(const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
@@ -426,13 +442,13 @@ void FlushTelemetry() {
     registry.GetGauge("mem.matrix.allocs")
         ->Set(static_cast<double>(memstats::AllocCount()));
   }
-  const std::string metrics_path = MetricsExportPath();
+  const std::string metrics_path = ExpandTelemetryPath(MetricsExportPath());
   if (!metrics_path.empty()) {
     if (Status s = WriteMetricsJson(metrics_path); !s.ok()) {
       SF_LOG(Warning) << "metrics export failed: " << s.ToString();
     }
   }
-  const std::string trace_path = TraceExportPath();
+  const std::string trace_path = ExpandTelemetryPath(TraceExportPath());
   if (!trace_path.empty()) {
     if (Status s = WriteTraceJson(trace_path); !s.ok()) {
       SF_LOG(Warning) << "trace export failed: " << s.ToString();

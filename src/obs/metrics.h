@@ -213,6 +213,12 @@ class TrainLoopTelemetry {
   std::unique_ptr<health::TrainingMonitor> monitor_;  // null until watched
 };
 
+/// Expands "%p" to the process id in a telemetry export path, so one
+/// SILOFUSE_METRICS/SILOFUSE_TRACE value (e.g. "metrics_%p.json") serves a
+/// whole parallel test run without the writers clobbering each other.
+/// Applied by FlushTelemetry at write time.
+std::string ExpandTelemetryPath(const std::string& path);
+
 /// Writes MetricsRegistry::Global().Snapshot() as JSON to `path`.
 Status WriteMetricsJson(const std::string& path);
 

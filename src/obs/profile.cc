@@ -428,6 +428,7 @@ struct ServingSummary {
   int64_t requests = 0;
   int64_t rows = 0;
   int64_t rejected = 0;
+  int64_t errors = 0;
   double queue_depth = 0.0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
@@ -437,6 +438,19 @@ struct ServingSummary {
   const HistogramSnapshot* latency_ms = nullptr;
   const HistogramSnapshot* batch_requests = nullptr;
   const HistogramSnapshot* batch_rows = nullptr;
+  /// Every non-empty serve.* histogram (global phases + per-deployment
+  /// serve.deploy.<name>.* copies), name-sorted so deployments group.
+  std::vector<std::pair<std::string, const HistogramSnapshot*>> histograms;
+  /// SLO verdict from the serve.slo.* gauges (published by SloMonitor).
+  bool slo_present = false;
+  bool slo_breached = false;
+  double slo_burn_short = 0.0;
+  double slo_burn_long = 0.0;
+  int64_t slo_breaches = 0;
+  /// Flight-recorder dump counters.
+  int64_t flight_dumps = 0;
+  int64_t flight_dump_failures = 0;
+  int64_t flight_dump_skipped = 0;
   bool any() const { return requests > 0; }
 };
 
@@ -465,9 +479,24 @@ ServingSummary SummarizeServing(const MetricsSnapshot& metrics) {
   serving.cache_evictions = CounterOr(metrics, "serve.cache.evictions", 0);
   serving.cache_reloads = CounterOr(metrics, "serve.cache.reloads", 0);
   serving.cache_loaded = GaugeOr(metrics, "serve.cache.loaded", 0.0);
+  serving.errors = CounterOr(metrics, "serve.errors", 0);
   serving.latency_ms = HistogramOrNull(metrics, "serve.request_latency_ms");
   serving.batch_requests = HistogramOrNull(metrics, "serve.batch.requests");
   serving.batch_rows = HistogramOrNull(metrics, "serve.batch.rows");
+  for (const auto& [name, histogram] : metrics.histograms) {
+    if (name.rfind("serve.", 0) != 0 || histogram.count == 0) continue;
+    serving.histograms.emplace_back(name, &histogram);
+  }
+  serving.slo_present =
+      metrics.gauges.find("serve.slo.breached") != metrics.gauges.end();
+  serving.slo_breached = GaugeOr(metrics, "serve.slo.breached", 0.0) != 0.0;
+  serving.slo_burn_short = GaugeOr(metrics, "serve.slo.burn_short", 0.0);
+  serving.slo_burn_long = GaugeOr(metrics, "serve.slo.burn_long", 0.0);
+  serving.slo_breaches =
+      static_cast<int64_t>(GaugeOr(metrics, "serve.slo.breaches", 0.0));
+  serving.flight_dumps = CounterOr(metrics, "flight.dumps", 0);
+  serving.flight_dump_failures = CounterOr(metrics, "flight.dump_failures", 0);
+  serving.flight_dump_skipped = CounterOr(metrics, "flight.dump_skipped", 0);
   return serving;
 }
 
@@ -480,6 +509,7 @@ void AppendServingMarkdown(std::ostringstream& out,
       << "| requests | " << serving.requests << " |\n"
       << "| rows served | " << serving.rows << " |\n"
       << "| rejected (backpressure) | " << serving.rejected << " |\n"
+      << "| errors | " << serving.errors << " |\n"
       << "| queue depth (last) | " << static_cast<int64_t>(serving.queue_depth)
       << " |\n"
       << "| cache hits / misses | " << serving.cache_hits << " / "
@@ -488,15 +518,37 @@ void AppendServingMarkdown(std::ostringstream& out,
       << serving.cache_evictions << " |\n"
       << "| models resident | " << static_cast<int64_t>(serving.cache_loaded)
       << " |\n\n";
-  if (serving.latency_ms != nullptr) {
-    const HistogramSnapshot& h = *serving.latency_ms;
-    out << "### Request latency (ms)\n\n"
-        << "| count | mean | p50 | p95 | p99 |\n"
-        << "|------:|-----:|----:|----:|----:|\n"
-        << "| " << h.count << " | " << std::fixed << std::setprecision(3)
-        << (h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count)) << " | "
-        << h.Quantile(0.50) << " | " << h.Quantile(0.95) << " | "
-        << h.Quantile(0.99) << " |\n\n";
+  if (serving.slo_present) {
+    out << "### SLO\n\n"
+        << "Verdict: " << (serving.slo_breached ? "**BREACHED**" : "ok")
+        << " — burn rate " << std::fixed << std::setprecision(2)
+        << serving.slo_burn_short << " (short) / " << serving.slo_burn_long
+        << " (long), " << serving.slo_breaches
+        << " breach(es) this process.\n\n";
+  }
+  if (serving.flight_dumps + serving.flight_dump_failures +
+          serving.flight_dump_skipped >
+      0) {
+    out << "Flight-recorder dumps: " << serving.flight_dumps << " written, "
+        << serving.flight_dump_failures << " failed, "
+        << serving.flight_dump_skipped << " skipped (no dump dir).\n\n";
+  }
+  if (!serving.histograms.empty()) {
+    // Every serve.* histogram with data, name-sorted (map order), so the
+    // global phase decomposition comes first and the per-deployment
+    // serve.deploy.<name>.* copies group by deployment below it.
+    out << "### Latency quantiles (interpolated)\n\n"
+        << "| histogram | count | mean | p50 | p95 | p99 |\n"
+        << "|-----------|------:|-----:|----:|----:|----:|\n";
+    for (const auto& [name, histogram] : serving.histograms) {
+      const HistogramSnapshot& h = *histogram;
+      out << "| " << name << " | " << h.count << " | " << std::fixed
+          << std::setprecision(3)
+          << (h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count))
+          << " | " << h.Quantile(0.50) << " | " << h.Quantile(0.95) << " | "
+          << h.Quantile(0.99) << " |\n";
+    }
+    out << "\n";
   }
   if (serving.batch_requests != nullptr) {
     const HistogramSnapshot& h = *serving.batch_requests;
@@ -661,19 +713,38 @@ std::string RenderRunReportJson(const std::string& title,
       << "    \"requests\": " << serving.requests << ",\n"
       << "    \"rows\": " << serving.rows << ",\n"
       << "    \"rejected\": " << serving.rejected << ",\n"
+      << "    \"errors\": " << serving.errors << ",\n"
       << "    \"queue_depth\": " << serving.queue_depth << ",\n"
       << "    \"cache\": {\"hits\": " << serving.cache_hits
       << ", \"misses\": " << serving.cache_misses
       << ", \"reloads\": " << serving.cache_reloads
       << ", \"evictions\": " << serving.cache_evictions
       << ", \"loaded\": " << serving.cache_loaded << "},\n"
+      << "    \"slo\": ";
+  if (serving.slo_present) {
+    out << "{\"breached\": " << (serving.slo_breached ? "true" : "false")
+        << ", \"burn_short\": " << serving.slo_burn_short
+        << ", \"burn_long\": " << serving.slo_burn_long
+        << ", \"breaches\": " << serving.slo_breaches << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\n    \"flight\": {\"dumps\": " << serving.flight_dumps
+      << ", \"dump_failures\": " << serving.flight_dump_failures
+      << ", \"dump_skipped\": " << serving.flight_dump_skipped << "},\n"
       << "    \"request_latency_ms\": ";
   histogram_json(serving.latency_ms);
   out << ",\n    \"batch_requests\": ";
   histogram_json(serving.batch_requests);
   out << ",\n    \"batch_rows\": ";
   histogram_json(serving.batch_rows);
-  out << "\n  },\n";
+  out << ",\n    \"quantiles\": {";
+  for (size_t i = 0; i < serving.histograms.size(); ++i) {
+    const auto& [name, histogram] = serving.histograms[i];
+    out << (i ? "," : "") << "\n      \"" << Escape(name) << "\": ";
+    histogram_json(histogram);
+  }
+  out << (serving.histograms.empty() ? "" : "\n    ") << "}\n  },\n";
   out << "  \"metrics\": " << metrics.ToJson() << "}\n";
   return out.str();
 }

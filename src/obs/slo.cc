@@ -1,0 +1,141 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace silofuse {
+namespace obs {
+
+SloMonitor::SloMonitor(const SloOptions& options, Clock* clock,
+                       std::string metric_prefix)
+    : options_(options),
+      clock_(clock != nullptr ? clock : SystemClock::Default()),
+      metric_prefix_(std::move(metric_prefix)) {}
+
+void SloMonitor::SetOnBreach(std::function<void(const std::string&)> on_breach) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_breach_ = std::move(on_breach);
+}
+
+void SloMonitor::Record(double latency_ms, SloOutcome outcome) {
+  std::string breach_reason;
+  std::function<void(const std::string&)> on_breach;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t now_ns = clock_->NowNs();
+    AdvanceLocked(now_ns);
+    Bucket& bucket = buckets_.back();
+    bucket.total += 1;
+    switch (outcome) {
+      case SloOutcome::kOk:
+        if (latency_ms <= options_.latency_objective_ms) {
+          bucket.good += 1;
+        }
+        break;
+      case SloOutcome::kRejected:
+        bucket.rejected += 1;
+        break;
+      case SloOutcome::kError:
+        bucket.errors += 1;
+        break;
+    }
+    total_requests_ += 1;
+    breach_reason = EvaluateLocked(now_ns);
+    PublishLocked();
+    if (!breach_reason.empty()) on_breach = on_breach_;
+  }
+  // Outside the lock: the breach hook dumps the flight recorder, which must
+  // not serialize against concurrent Record() calls from serving threads.
+  if (on_breach) on_breach(breach_reason);
+}
+
+void SloMonitor::AdvanceLocked(int64_t now_ns) {
+  const int64_t bucket_start =
+      (now_ns / options_.bucket_ns) * options_.bucket_ns;
+  if (buckets_.empty() || buckets_.back().start_ns < bucket_start) {
+    Bucket bucket;
+    bucket.start_ns = bucket_start;
+    buckets_.push_back(bucket);
+  }
+  const int64_t horizon = now_ns - options_.long_window_ns;
+  while (!buckets_.empty() &&
+         buckets_.front().start_ns + options_.bucket_ns <= horizon) {
+    buckets_.pop_front();
+  }
+}
+
+SloWindowStats SloMonitor::WindowLocked(int64_t now_ns,
+                                        int64_t window_ns) const {
+  SloWindowStats stats;
+  const int64_t horizon = now_ns - window_ns;
+  for (const Bucket& bucket : buckets_) {
+    // A bucket counts while any part of it overlaps the window.
+    if (bucket.start_ns + options_.bucket_ns <= horizon) continue;
+    stats.total += bucket.total;
+    stats.good += bucket.good;
+    stats.rejected += bucket.rejected;
+    stats.errors += bucket.errors;
+  }
+  if (stats.total > 0) {
+    stats.bad_fraction =
+        static_cast<double>(stats.total - stats.good) / stats.total;
+    const double budget = std::max(1e-9, 1.0 - options_.objective);
+    stats.burn_rate = stats.bad_fraction / budget;
+  }
+  return stats;
+}
+
+std::string SloMonitor::EvaluateLocked(int64_t now_ns) {
+  const SloWindowStats short_stats =
+      WindowLocked(now_ns, options_.short_window_ns);
+  const SloWindowStats long_stats =
+      WindowLocked(now_ns, options_.long_window_ns);
+  last_burn_short_ = short_stats.burn_rate;
+  last_burn_long_ = long_stats.burn_rate;
+  const bool breach = long_stats.total >= options_.min_requests &&
+                      short_stats.burn_rate >= options_.burn_rate_threshold &&
+                      long_stats.burn_rate >= options_.burn_rate_threshold;
+  std::string reason;
+  if (breach && !breached_) {
+    breaches_ += 1;
+    std::ostringstream msg;
+    msg << "slo breach: burn short=" << short_stats.burn_rate
+        << " long=" << long_stats.burn_rate << " (threshold "
+        << options_.burn_rate_threshold << ", bad "
+        << (long_stats.total - long_stats.good) << "/" << long_stats.total
+        << " over long window)";
+    reason = msg.str();
+  }
+  breached_ = breach;
+  return reason;
+}
+
+void SloMonitor::PublishLocked() {
+  if (metric_prefix_.empty()) return;
+  auto& registry = MetricsRegistry::Global();
+  registry.GetGauge(metric_prefix_ + ".breached")->Set(breached_ ? 1.0 : 0.0);
+  registry.GetGauge(metric_prefix_ + ".burn_short")->Set(last_burn_short_);
+  registry.GetGauge(metric_prefix_ + ".burn_long")->Set(last_burn_long_);
+  // Monotone breach count as a gauge so snapshots and sf_report see it
+  // without holding a handle to this monitor.
+  registry.GetGauge(metric_prefix_ + ".breaches")->Set(
+      static_cast<double>(breaches_));
+}
+
+SloSnapshot SloMonitor::Snapshot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now_ns = clock_->NowNs();
+  AdvanceLocked(now_ns);
+  SloSnapshot snapshot;
+  snapshot.short_window = WindowLocked(now_ns, options_.short_window_ns);
+  snapshot.long_window = WindowLocked(now_ns, options_.long_window_ns);
+  snapshot.breached = breached_;
+  snapshot.breaches = breaches_;
+  snapshot.total_requests = total_requests_;
+  return snapshot;
+}
+
+}  // namespace obs
+}  // namespace silofuse

@@ -39,6 +39,11 @@ inline bool TraceEnabled() {
   return internal_trace::g_enabled.load(std::memory_order_relaxed);
 }
 
+/// Nanoseconds since the process trace epoch (steady clock). The flight
+/// recorder and ad-hoc instrumentation stamp with this so their timestamps
+/// line up with SF_TRACE_SPAN exports on one timeline.
+inline int64_t TraceNowNs() { return internal_trace::NowNs(); }
+
 /// Starts recording spans. A non-empty `export_path` is written (Chrome
 /// trace-event JSON, loadable in chrome://tracing / Perfetto) by
 /// FlushTelemetry and automatically at process exit. Initial state comes

@@ -1,10 +1,16 @@
 #include "serve/batcher.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <string>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace silofuse {
 namespace serve {
@@ -16,6 +22,8 @@ struct BatcherMetrics {
   obs::Gauge* queue_depth;
   obs::Histogram* batch_requests;
   obs::Histogram* batch_rows;
+  obs::Histogram* queue_ms;
+  obs::Histogram* linger_ms;
 };
 
 const BatcherMetrics& Metrics() {
@@ -28,10 +36,42 @@ const BatcherMetrics& Metrics() {
         "serve.batch.requests", {1, 2, 4, 8, 16, 32, 64});
     m.batch_rows = registry.GetHistogram(
         "serve.batch.rows", {16, 64, 256, 1024, 4096, 16384});
+    m.queue_ms = registry.GetHistogram("serve.queue_ms", ServePhaseBoundsMs());
+    m.linger_ms =
+        registry.GetHistogram("serve.linger_ms", ServePhaseBoundsMs());
     return m;
   }();
   return metrics;
 }
+
+struct DeployPhaseMetrics {
+  obs::Histogram* queue_ms;
+  obs::Histogram* linger_ms;
+};
+
+/// Per-deployment queue/linger histograms, cached by interned pointer (each
+/// distinct deployment string interns to one stable pointer, so the hot
+/// path is one map lookup under a small mutex, no string building).
+const DeployPhaseMetrics* DeployMetricsFor(const char* deployment) {
+  if (deployment == nullptr) return nullptr;
+  static std::mutex mu;
+  static auto* cache = new std::map<const char*, DeployPhaseMetrics>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(deployment);
+  if (it == cache->end()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    const std::string prefix = std::string("serve.deploy.") + deployment;
+    DeployPhaseMetrics m;
+    m.queue_ms =
+        registry.GetHistogram(prefix + ".queue_ms", ServePhaseBoundsMs());
+    m.linger_ms =
+        registry.GetHistogram(prefix + ".linger_ms", ServePhaseBoundsMs());
+    it = cache->emplace(deployment, m).first;
+  }
+  return &it->second;
+}
+
+std::atomic<uint32_t> g_next_batch_id{0};
 
 bool SameParams(const SamplingParams& a, const SamplingParams& b) {
   return a.steps == b.steps && a.eta == b.eta;
@@ -93,18 +133,34 @@ Result<std::future<Result<Table>>> RequestBatcher::SubmitAsync(
   }
   Pending pending;
   pending.request = request;
+  const int64_t submit_ns = obs::TraceNowNs();
+  pending.submit_ns = submit_ns;
   std::future<Result<Table>> future = pending.promise.get_future();
+  auto& flight = obs::FlightRecorder::Global();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) return Status::Unavailable("batcher is shutting down");
     if (static_cast<int>(queue_.size()) >= options_.max_queue_depth) {
       Metrics().rejected->Increment();
+      flight.Record(obs::FlightPhase::kReject, request.request_id,
+                    /*batch_id=*/0, request.deployment, request.rows,
+                    submit_ns, submit_ns);
       return Status::Unavailable(
           "serving queue is full (depth " + std::to_string(queue_.size()) +
           "); retry with backoff");
     }
     queue_.push_back(std::move(pending));
     PublishQueueDepthLocked();
+  }
+  flight.Record(obs::FlightPhase::kEnqueue, request.request_id,
+                /*batch_id=*/0, request.deployment, request.rows, submit_ns,
+                submit_ns);
+  // Trace-side flow start: the matching finish is recorded inside the
+  // dispatch span on the worker thread, so the viewer draws an arrow from
+  // the caller's submit into the batch that served it.
+  if (request.request_id != 0) {
+    obs::RecordTransferFlow("serve.request", request.request_id,
+                            /*start=*/true);
   }
   queue_cv_.notify_one();
   return future;
@@ -140,20 +196,65 @@ std::vector<RequestBatcher::Pending> RequestBatcher::NextBatchLocked() {
   return batch;
 }
 
-void RequestBatcher::Dispatch(std::vector<Pending> batch) {
+void RequestBatcher::Dispatch(std::vector<Pending> batch, int64_t wake_ns) {
   if (batch.empty()) return;
+  const int64_t dispatch_ns = obs::TraceNowNs();
+  const uint32_t batch_id =
+      g_next_batch_id.fetch_add(1, std::memory_order_relaxed) + 1;
   const BatcherMetrics& metrics = Metrics();
+  const DeployPhaseMetrics* deploy =
+      DeployMetricsFor(batch.front().request.deployment);
+  auto& flight = obs::FlightRecorder::Global();
   std::vector<Request> requests;
   requests.reserve(batch.size());
   int rows = 0;
   for (const Pending& pending : batch) {
     requests.push_back(pending.request);
     rows += pending.request.rows;
+    // Queue = submit until the worker first saw work for this batch;
+    // linger = the rest of the wait. A request that arrived mid-linger has
+    // zero queue time, and the two always sum to dispatch - submit.
+    const int64_t queue_end = std::max(pending.submit_ns, wake_ns);
+    const double queue_ms =
+        static_cast<double>(queue_end - pending.submit_ns) / 1e6;
+    const double linger_ms =
+        static_cast<double>(std::max<int64_t>(0, dispatch_ns - queue_end)) /
+        1e6;
+    metrics.queue_ms->Observe(queue_ms);
+    metrics.linger_ms->Observe(linger_ms);
+    if (deploy != nullptr) {
+      deploy->queue_ms->Observe(queue_ms);
+      deploy->linger_ms->Observe(linger_ms);
+    }
+    flight.Record(obs::FlightPhase::kQueue, pending.request.request_id,
+                  batch_id, pending.request.deployment, pending.request.rows,
+                  pending.submit_ns, queue_end);
+    flight.Record(obs::FlightPhase::kLinger, pending.request.request_id,
+                  batch_id, pending.request.deployment, pending.request.rows,
+                  queue_end, dispatch_ns);
   }
   metrics.batch_requests->Observe(static_cast<double>(batch.size()));
   metrics.batch_rows->Observe(static_cast<double>(rows));
-  Result<std::vector<Table>> result =
-      batch_fn_(requests, requests.front().params);
+  // Batch-scoped ambient context: downstream spans (cache load, sampling,
+  // decode) and flight events read the batch id out of `round` and the
+  // deployment out of `tag`; the run id names the batch's first request so
+  // the exported trace groups the whole pass under one run.
+  obs::TraceContext batch_ctx;
+  batch_ctx.run_id = static_cast<uint32_t>(requests.front().request_id);
+  batch_ctx.round = static_cast<int32_t>(batch_id);
+  batch_ctx.tag = requests.front().deployment;
+  obs::ScopedTraceContext batch_scope(batch_ctx);
+  Result<std::vector<Table>> result = [&] {
+    obs::ContextSpan dispatch_span("serve.dispatch");
+    // Trace-side flow finish for every member, bound to the dispatch span.
+    for (const Request& request : requests) {
+      if (request.request_id != 0) {
+        obs::RecordTransferFlow("serve.request", request.request_id,
+                                /*start=*/false);
+      }
+    }
+    return batch_fn_(requests, requests.front().params);
+  }();
   if (!result.ok()) {
     for (Pending& pending : batch) pending.promise.set_value(result.status());
     return;
@@ -172,23 +273,26 @@ void RequestBatcher::Dispatch(std::vector<Pending> batch) {
 }
 
 int RequestBatcher::RunOnce() {
+  const int64_t wake_ns = obs::TraceNowNs();
   std::vector<Pending> batch;
   {
     std::lock_guard<std::mutex> lock(mu_);
     batch = NextBatchLocked();
   }
   const int served = static_cast<int>(batch.size());
-  Dispatch(std::move(batch));
+  Dispatch(std::move(batch), wake_ns);
   return served;
 }
 
 void RequestBatcher::WorkerLoop() {
   for (;;) {
     std::vector<Pending> batch;
+    int64_t wake_ns = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ with a drained queue
+      wake_ns = obs::TraceNowNs();
       if (options_.max_linger_us > 0) {
         // Linger: give concurrent callers a window to join this batch. Wake
         // early once the batch caps are reachable from the front run alone
@@ -208,7 +312,7 @@ void RequestBatcher::WorkerLoop() {
       }
       batch = NextBatchLocked();
     }
-    Dispatch(std::move(batch));
+    Dispatch(std::move(batch), wake_ns);
   }
 }
 

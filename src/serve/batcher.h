@@ -18,6 +18,14 @@
 namespace silofuse {
 namespace serve {
 
+/// Shared bucket bounds (milliseconds) for the serve.*_ms phase histograms
+/// (queue/linger/sample/decode/stream/cache_load). Sub-millisecond buckets
+/// matter here: a healthy queue wait is tens of microseconds.
+inline std::vector<double> ServePhaseBoundsMs() {
+  return {0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+          2.5,  5,     10,   25,  50,  100, 250, 1000};
+}
+
 struct BatcherOptions {
   /// Coalesce at most this many requests into one sampling pass.
   int max_batch_requests = 16;
@@ -54,6 +62,15 @@ struct BatcherOptions {
 /// batchers: each batcher publishes deltas of its own queue size and
 /// withdraws its contribution on destruction, so concurrent batchers never
 /// clobber each other's share.
+///
+/// Phase attribution: every request's time before its batch function runs
+/// is split into serve.queue_ms (waiting for the worker to be free) and
+/// serve.linger_ms (the deliberate wait for co-batchable arrivals), with
+/// per-deployment copies under serve.deploy.<name>.*, matching flight-
+/// recorder events (kEnqueue/kQueue/kLinger/kReject), and a batch-scoped
+/// TraceContext (run = first request id, round = batch id, tag =
+/// deployment) installed around the batch function so downstream spans and
+/// flight events share ids with the enqueue side.
 class RequestBatcher {
  public:
   /// One caller's order: `rows` synthetic rows from a deployment-scoped
@@ -62,6 +79,11 @@ class RequestBatcher {
     int rows = 0;
     uint64_t seed = 0;
     SamplingParams params;
+    /// Telemetry identity (0 / nullptr = untracked): `request_id` names
+    /// this request in flight-recorder events and trace flow arrows;
+    /// `deployment` must be interned (InternTraceString) or a literal.
+    uint64_t request_id = 0;
+    const char* deployment = nullptr;
   };
 
   /// Runs one coalesced pass over `batch` (all members share `params`) and
@@ -96,6 +118,7 @@ class RequestBatcher {
   struct Pending {
     Request request;
     std::promise<Result<Table>> promise;
+    int64_t submit_ns = 0;  // trace epoch, stamped by SubmitAsync
   };
 
   /// Pops the next batch (front run with equal params, size-capped) off the
@@ -107,7 +130,11 @@ class RequestBatcher {
   void PublishQueueDepthLocked();
 
   /// Runs `batch` through batch_fn_ and fulfills its promises. No lock.
-  void Dispatch(std::vector<Pending> batch);
+  /// `wake_ns` is when the worker first saw work for this batch (the
+  /// queue/linger boundary); per-member queue_ms = wake - submit and
+  /// linger_ms = dispatch - max(submit, wake), so the two sum exactly to
+  /// the member's pre-dispatch wait.
+  void Dispatch(std::vector<Pending> batch, int64_t wake_ns);
 
   void WorkerLoop();
 

@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace silofuse {
 namespace serve {
@@ -18,7 +20,12 @@ namespace {
 struct ServerMetrics {
   obs::Counter* requests;
   obs::Counter* rows;
+  obs::Counter* errors;
   obs::Histogram* latency_ms;
+  obs::Histogram* sample_ms;
+  obs::Histogram* decode_ms;
+  obs::Histogram* stream_ms;
+  obs::Histogram* cache_load_ms;
 };
 
 const ServerMetrics& Metrics() {
@@ -27,12 +34,54 @@ const ServerMetrics& Metrics() {
     ServerMetrics m;
     m.requests = registry.GetCounter("serve.requests");
     m.rows = registry.GetCounter("serve.rows");
+    m.errors = registry.GetCounter("serve.errors");
     m.latency_ms = registry.GetHistogram(
         "serve.request_latency_ms",
         {0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000});
+    m.sample_ms =
+        registry.GetHistogram("serve.sample_ms", ServePhaseBoundsMs());
+    m.decode_ms =
+        registry.GetHistogram("serve.decode_ms", ServePhaseBoundsMs());
+    m.stream_ms =
+        registry.GetHistogram("serve.stream_ms", ServePhaseBoundsMs());
+    m.cache_load_ms =
+        registry.GetHistogram("serve.cache_load_ms", ServePhaseBoundsMs());
     return m;
   }();
   return metrics;
+}
+
+struct DeployServeMetrics {
+  obs::Histogram* latency_ms;
+  obs::Histogram* sample_ms;
+  obs::Histogram* decode_ms;
+  obs::Histogram* stream_ms;
+};
+
+/// Per-deployment copies of the request-path histograms, cached by interned
+/// deployment pointer (same scheme as the batcher's queue/linger cache).
+const DeployServeMetrics* DeployMetricsFor(const char* deployment) {
+  if (deployment == nullptr) return nullptr;
+  static std::mutex mu;
+  static auto* cache = new std::map<const char*, DeployServeMetrics>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache->find(deployment);
+  if (it == cache->end()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    const std::string prefix = std::string("serve.deploy.") + deployment;
+    DeployServeMetrics m;
+    m.latency_ms = registry.GetHistogram(
+        prefix + ".request_latency_ms",
+        {0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000});
+    m.sample_ms =
+        registry.GetHistogram(prefix + ".sample_ms", ServePhaseBoundsMs());
+    m.decode_ms =
+        registry.GetHistogram(prefix + ".decode_ms", ServePhaseBoundsMs());
+    m.stream_ms =
+        registry.GetHistogram(prefix + ".stream_ms", ServePhaseBoundsMs());
+    it = cache->emplace(deployment, m).first;
+  }
+  return &it->second;
 }
 
 }  // namespace
@@ -41,6 +90,24 @@ SynthesisServer::SynthesisServer(ServeOptions options)
     : options_(options), cache_(options.cache) {
   if (options_.stream_chunk_rows < 1) options_.stream_chunk_rows = 1;
   if (options_.max_rows_per_request < 1) options_.max_rows_per_request = 1;
+  if (!options_.flight_dump_dir.empty()) {
+    obs::FlightRecorder::Global().SetDumpDir(options_.flight_dump_dir);
+  }
+  if (options_.enable_slo) {
+    slo_ = std::make_unique<obs::SloMonitor>(options_.slo, options_.slo_clock,
+                                             "serve.slo");
+    slo_->SetOnBreach([](const std::string& reason) {
+      auto& flight = obs::FlightRecorder::Global();
+      const int64_t now_ns = obs::TraceNowNs();
+      flight.Record(obs::FlightPhase::kBreach, /*request_id=*/0,
+                    /*batch_id=*/0, /*deployment=*/nullptr, /*rows=*/0,
+                    now_ns, now_ns);
+      // The whole point of the always-on recorder: the events leading up
+      // to this breach are already in memory — snapshot them now.
+      flight.DumpOnTrigger("slo_breach");
+      static_cast<void>(reason);
+    });
+  }
 }
 
 Status SynthesisServer::RegisterDeployment(const std::string& name,
@@ -51,6 +118,28 @@ Status SynthesisServer::RegisterDeployment(const std::string& name,
 int SynthesisServer::ActiveBatchers() const {
   std::lock_guard<std::mutex> lock(batchers_mu_);
   return static_cast<int>(batchers_.size());
+}
+
+ServerDebugSnapshot SynthesisServer::DebugSnapshot() {
+  ServerDebugSnapshot snapshot;
+  for (const std::string& name : cache_.Deployments()) {
+    ServerDebugSnapshot::Deployment deployment;
+    deployment.name = name;
+    {
+      std::lock_guard<std::mutex> lock(batchers_mu_);
+      auto it = batchers_.find(name);
+      if (it != batchers_.end()) deployment.queue_depth = it->second->QueueDepth();
+    }
+    snapshot.deployments.push_back(std::move(deployment));
+  }
+  snapshot.loaded_models = cache_.LoadedCount();
+  snapshot.active_batchers = ActiveBatchers();
+  snapshot.slo_enabled = slo_ != nullptr;
+  if (slo_ != nullptr) snapshot.slo = slo_->Snapshot();
+  auto& flight = obs::FlightRecorder::Global();
+  snapshot.recent_flight_dumps = flight.RecentDumps();
+  snapshot.flight_events = flight.TotalRecorded();
+  return snapshot;
 }
 
 RequestBatcher* SynthesisServer::BatcherFor(const std::string& deployment) {
@@ -72,9 +161,32 @@ Result<std::vector<Table>> SynthesisServer::RunBatch(
     const std::string& deployment,
     const std::vector<RequestBatcher::Request>& batch,
     const SamplingParams& params) {
-  SF_TRACE_SPAN("serve.batch");
-  SF_ASSIGN_OR_RETURN(std::shared_ptr<SiloFuse> model,
-                      cache_.Get(deployment));
+  // The batcher installed the batch-scoped context (round = batch id, tag =
+  // deployment) before calling in; spans and flight events key off it.
+  const uint64_t batch_id =
+      static_cast<uint64_t>(obs::CurrentTraceContext().round);
+  const char* deployment_tag = obs::InternTraceString(deployment);
+  const ServerMetrics& metrics = Metrics();
+  const DeployServeMetrics* deploy = DeployMetricsFor(deployment_tag);
+  auto& flight = obs::FlightRecorder::Global();
+  obs::ContextSpan batch_span("serve.batch");
+  int batch_rows = 0;
+  for (const RequestBatcher::Request& request : batch) {
+    batch_rows += request.rows;
+  }
+
+  const int64_t batch_start_ns = obs::TraceNowNs();
+  std::shared_ptr<SiloFuse> model;
+  {
+    obs::ContextSpan cache_span("serve.cache_load");
+    SF_ASSIGN_OR_RETURN(model, cache_.Get(deployment));
+  }
+  const int64_t cache_done_ns = obs::TraceNowNs();
+  metrics.cache_load_ms->Observe(
+      static_cast<double>(cache_done_ns - batch_start_ns) / 1e6);
+  flight.Record(obs::FlightPhase::kCacheLoad, /*request_id=*/0, batch_id,
+                deployment_tag, batch_rows, batch_start_ns, cache_done_ns);
+
   // One private noise stream per request: output i is byte-identical to a
   // solo request with the same seed regardless of batch composition.
   std::deque<Rng> rngs;
@@ -84,10 +196,40 @@ Result<std::vector<Table>> SynthesisServer::RunBatch(
     rngs.emplace_back(request.seed);
     coalesced.push_back({request.rows, &rngs.back()});
   }
-  return model->SynthesizeCoalesced(coalesced, params);
+  CoalescedTiming timing;
+  Result<std::vector<Table>> result =
+      model->SynthesizeCoalesced(coalesced, params, &timing);
+  const int64_t done_ns = obs::TraceNowNs();
+  if (!result.ok()) return result;
+
+  // Phase accounting: the sample segment runs from dispatch to the end of
+  // the shared denoising pass — deliberately including the cache fetch and
+  // latent prep, so queue+linger+sample+decode(+stream) tiles the request's
+  // latency with no unattributed gap (serve.cache_load_ms above is the
+  // finer-grained detail view). Every batch member observes the shared
+  // durations: each request really did wait for the whole pass.
+  const int64_t sample_end_ns =
+      timing.sample_end_ns > 0 ? timing.sample_end_ns : done_ns;
+  const double sample_ms =
+      static_cast<double>(sample_end_ns - batch_start_ns) / 1e6;
+  const double decode_ms = static_cast<double>(done_ns - sample_end_ns) / 1e6;
+  for (const RequestBatcher::Request& request : batch) {
+    metrics.sample_ms->Observe(sample_ms);
+    metrics.decode_ms->Observe(decode_ms);
+    if (deploy != nullptr) {
+      deploy->sample_ms->Observe(sample_ms);
+      deploy->decode_ms->Observe(decode_ms);
+    }
+    flight.Record(obs::FlightPhase::kSample, request.request_id, batch_id,
+                  deployment_tag, request.rows, batch_start_ns, sample_end_ns);
+    flight.Record(obs::FlightPhase::kDecode, request.request_id, batch_id,
+                  deployment_tag, request.rows, sample_end_ns, done_ns);
+  }
+  return result;
 }
 
-Result<Table> SynthesisServer::Synthesize(const ServeRequest& request) {
+Result<Table> SynthesisServer::SynthesizeInternal(const ServeRequest& request,
+                                                  const RowChunkSink* sink) {
   const ServerMetrics& metrics = Metrics();
   metrics.requests->Increment();
   if (request.rows <= 0) {
@@ -116,30 +258,78 @@ Result<Table> SynthesisServer::Synthesize(const ServeRequest& request) {
                                                 : options_.defaults.steps;
   order.params.eta =
       request.params.eta >= 0.0 ? request.params.eta : options_.defaults.eta;
+  order.request_id = obs::NextTraceRunId();
+  order.deployment = obs::InternTraceString(request.deployment);
+  const DeployServeMetrics* deploy = DeployMetricsFor(order.deployment);
 
-  const auto start = std::chrono::steady_clock::now();
+  // Request-scoped ambient context on the caller thread; the batcher hands
+  // an equivalent context (plus batch id) to the worker side, so both
+  // halves of the request share run/tag identity in the exported trace.
+  obs::TraceContext request_ctx;
+  request_ctx.run_id = static_cast<uint32_t>(order.request_id);
+  request_ctx.tag = order.deployment;
+  obs::ScopedTraceContext request_scope(request_ctx);
+  obs::ContextSpan request_span("serve.request");
+
+  auto& flight = obs::FlightRecorder::Global();
+  const int64_t start_ns = obs::TraceNowNs();
   Result<Table> result = BatcherFor(request.deployment)->Submit(order);
+  Status stream_status = Status::OK();
+  if (result.ok() && sink != nullptr) {
+    obs::ContextSpan stream_span("serve.stream");
+    const int64_t stream_start_ns = obs::TraceNowNs();
+    const Table& table = result.Value();
+    // Chunking applies to DELIVERY only: the decode itself must be whole-
+    // request (the decoder consumes its rng span-major, so decoding row
+    // chunks independently would change the bytes).
+    for (int start = 0; start < table.num_rows();
+         start += options_.stream_chunk_rows) {
+      const int count =
+          std::min(options_.stream_chunk_rows, table.num_rows() - start);
+      stream_status = (*sink)(table.SliceRows(start, count));
+      if (!stream_status.ok()) break;
+    }
+    const int64_t stream_end_ns = obs::TraceNowNs();
+    const double stream_ms =
+        static_cast<double>(stream_end_ns - stream_start_ns) / 1e6;
+    metrics.stream_ms->Observe(stream_ms);
+    if (deploy != nullptr) deploy->stream_ms->Observe(stream_ms);
+    flight.Record(obs::FlightPhase::kStream, order.request_id, /*batch_id=*/0,
+                  order.deployment, table.num_rows(), stream_start_ns,
+                  stream_end_ns);
+  }
   const double latency_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+      static_cast<double>(obs::TraceNowNs() - start_ns) / 1e6;
   metrics.latency_ms->Observe(latency_ms);
+  if (deploy != nullptr) deploy->latency_ms->Observe(latency_ms);
   if (result.ok()) metrics.rows->Add(request.rows);
+
+  // SLO filing: everything past validation counts. Backpressure sheds are
+  // kRejected (they consume error budget but are not server faults);
+  // batch failures and sink failures are kError.
+  obs::SloOutcome outcome = obs::SloOutcome::kOk;
+  if (!result.ok()) {
+    outcome = result.status().code() == StatusCode::kUnavailable
+                  ? obs::SloOutcome::kRejected
+                  : obs::SloOutcome::kError;
+  } else if (!stream_status.ok()) {
+    outcome = obs::SloOutcome::kError;
+  }
+  if (outcome == obs::SloOutcome::kError) metrics.errors->Increment();
+  if (slo_ != nullptr) slo_->Record(latency_ms, outcome);
+
+  if (!stream_status.ok()) return stream_status;
   return result;
+}
+
+Result<Table> SynthesisServer::Synthesize(const ServeRequest& request) {
+  return SynthesizeInternal(request, /*sink=*/nullptr);
 }
 
 Status SynthesisServer::SynthesizeStream(const ServeRequest& request,
                                          const RowChunkSink& sink) {
-  SF_ASSIGN_OR_RETURN(Table table, Synthesize(request));
-  // Chunking applies to DELIVERY only: the decode itself must be whole-
-  // request (the decoder consumes its rng span-major, so decoding row
-  // chunks independently would change the bytes).
-  for (int start = 0; start < table.num_rows();
-       start += options_.stream_chunk_rows) {
-    const int count =
-        std::min(options_.stream_chunk_rows, table.num_rows() - start);
-    SF_RETURN_NOT_OK(sink(table.SliceRows(start, count)));
-  }
+  Result<Table> result = SynthesizeInternal(request, &sink);
+  if (!result.ok()) return result.status();
   return Status::OK();
 }
 

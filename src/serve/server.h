@@ -7,9 +7,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "data/table.h"
+#include "obs/slo.h"
 #include "serve/batcher.h"
 #include "serve/model_cache.h"
 
@@ -41,6 +44,33 @@ struct ServeOptions {
   int stream_chunk_rows = 256;
   /// Admission control: reject single requests larger than this outright.
   int max_rows_per_request = 65536;
+  /// SLO monitoring (obs/slo.h): when enabled, every request that passes
+  /// validation is filed into an SloMonitor publishing serve.slo.* gauges;
+  /// entering breach triggers a flight-recorder dump ("slo_breach").
+  bool enable_slo = false;
+  obs::SloOptions slo;
+  /// Time source for the SLO monitor's rolling windows (tests inject a
+  /// VirtualClock to script breaches deterministically); nullptr = system.
+  Clock* slo_clock = nullptr;
+  /// Non-empty: forwarded to FlightRecorder::Global().SetDumpDir at
+  /// construction, so breach/abort dumps have somewhere to land.
+  std::string flight_dump_dir;
+};
+
+/// Point-in-time operational state of one SynthesisServer, for debug
+/// endpoints and sf_report --serve.
+struct ServerDebugSnapshot {
+  struct Deployment {
+    std::string name;
+    int queue_depth = -1;  // -1 = no batcher yet (never served)
+  };
+  std::vector<Deployment> deployments;
+  int loaded_models = 0;
+  int active_batchers = 0;
+  bool slo_enabled = false;
+  obs::SloSnapshot slo;                          // zeroed when disabled
+  std::vector<std::string> recent_flight_dumps;  // oldest first
+  int64_t flight_events = 0;                     // process-wide total
 };
 
 /// Multi-tenant synthesis-as-a-service front end.
@@ -55,9 +85,17 @@ struct ServeOptions {
 ///
 /// Thread-safe: any number of threads may call Synthesize concurrently.
 ///
-/// Metrics: counter serve.requests, serve.rows, serve.rejected; histogram
-/// serve.request_latency_ms (queueing + linger + sampling + decode);
-/// serve.batch.* and serve.cache.* from the batcher and cache.
+/// Metrics: counters serve.requests, serve.rows, serve.rejected,
+/// serve.errors; histogram serve.request_latency_ms decomposed by the
+/// phase histograms serve.queue_ms + serve.linger_ms + serve.sample_ms +
+/// serve.decode_ms + serve.stream_ms (per-deployment copies under
+/// serve.deploy.<name>.*, cache fetch detail in serve.cache_load_ms —
+/// the fetch itself is part of the sample segment so the five phases sum
+/// to the request latency); serve.batch.* / serve.cache.* from the batcher
+/// and cache; serve.slo.* when SLO monitoring is enabled. Every request is
+/// also traced (serve.request/serve.dispatch/serve.batch spans with flow
+/// arrows) and recorded in the always-on flight recorder
+/// (obs/flight_recorder.h) under a per-request id.
 class SynthesisServer {
  public:
   explicit SynthesisServer(ServeOptions options = {});
@@ -93,11 +131,24 @@ class SynthesisServer {
   /// At most one per registered deployment that has served traffic.
   int ActiveBatchers() const;
 
+  /// Operational state for debug endpoints / sf_report --serve.
+  ServerDebugSnapshot DebugSnapshot();
+
+  /// The SLO monitor, or nullptr when ServeOptions::enable_slo is false.
+  obs::SloMonitor* slo() { return slo_.get(); }
+
  private:
   /// Lazily creates the deployment's batcher (whose batch function samples
   /// through the cache). Only reached for registered deployments —
   /// Synthesize validates against the cache first.
   RequestBatcher* BatcherFor(const std::string& deployment);
+
+  /// Shared request path: validate, enqueue, wait; a non-null `sink`
+  /// additionally streams the finished table in chunks (the stream phase)
+  /// before the request's latency is observed, so streamed requests pay
+  /// their delivery time inside serve.request_latency_ms.
+  Result<Table> SynthesizeInternal(const ServeRequest& request,
+                                   const RowChunkSink* sink);
 
   /// One coalesced pass for `deployment`: cache fetch + SynthesizeCoalesced.
   Result<std::vector<Table>> RunBatch(
@@ -107,6 +158,7 @@ class SynthesisServer {
 
   ServeOptions options_;
   ModelCache cache_;
+  std::unique_ptr<obs::SloMonitor> slo_;  // null unless enable_slo
   mutable std::mutex batchers_mu_;
   // Destroyed before cache_ (reverse member order): batcher workers may
   // still be sampling on cached models during their drain.

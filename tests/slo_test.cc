@@ -1,0 +1,178 @@
+// Tests of the rolling-window SLO monitor (src/obs/slo): multi-window
+// burn-rate breach entry scripted on a VirtualClock, the min_requests
+// floor, one-shot breach callbacks with re-arming after recovery, window
+// expiry, and the serve.slo.* gauge publication sf_report reads.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+
+namespace silofuse {
+namespace obs {
+namespace {
+
+/// Tight options so tests can walk the windows in a handful of records:
+/// 2 s short / 10 s long windows over 1 s buckets, 90% objective (10% error
+/// budget), burn threshold 2 => breach needs a bad fraction >= 20% in BOTH
+/// windows with at least 4 requests in the long one.
+SloOptions TightOptions() {
+  SloOptions options;
+  options.latency_objective_ms = 100.0;
+  options.objective = 0.9;
+  options.short_window_ns = 2LL * 1000 * 1000 * 1000;
+  options.long_window_ns = 10LL * 1000 * 1000 * 1000;
+  options.bucket_ns = 1LL * 1000 * 1000 * 1000;
+  options.burn_rate_threshold = 2.0;
+  options.min_requests = 4;
+  return options;
+}
+
+constexpr int64_t kSecond = 1000 * 1000 * 1000;
+
+TEST(SloMonitorTest, HealthyTrafficNeverBreaches) {
+  VirtualClock clock;
+  SloMonitor monitor(TightOptions(), &clock);
+  for (int i = 0; i < 50; ++i) {
+    monitor.Record(10.0, SloOutcome::kOk);
+    clock.SleepFor(kSecond / 10);
+  }
+  const SloSnapshot snapshot = monitor.Snapshot();
+  EXPECT_FALSE(snapshot.breached);
+  EXPECT_EQ(snapshot.breaches, 0);
+  EXPECT_EQ(snapshot.total_requests, 50);
+  EXPECT_EQ(snapshot.long_window.bad_fraction, 0.0);
+}
+
+TEST(SloMonitorTest, MinRequestsFloorSuppressesEarlyFailures) {
+  VirtualClock clock;
+  SloMonitor monitor(TightOptions(), &clock);
+  // Three straight errors = 100% bad, but below min_requests = 4: never
+  // breach (one early blip would otherwise page on any window).
+  for (int i = 0; i < 3; ++i) monitor.Record(10.0, SloOutcome::kError);
+  EXPECT_FALSE(monitor.Snapshot().breached);
+  EXPECT_EQ(monitor.Snapshot().breaches, 0);
+  // The fourth bad request crosses the floor and trips the alert.
+  monitor.Record(10.0, SloOutcome::kError);
+  EXPECT_TRUE(monitor.Snapshot().breached);
+  EXPECT_EQ(monitor.Snapshot().breaches, 1);
+}
+
+TEST(SloMonitorTest, BreachFiresCallbackExactlyOnceAtTheTrippingRecord) {
+  VirtualClock clock;
+  SloMonitor monitor(TightOptions(), &clock);
+  std::vector<std::string> reasons;
+  monitor.SetOnBreach(
+      [&reasons](const std::string& reason) { reasons.push_back(reason); });
+
+  // 16 good requests spread over 8 s fill the long window well under
+  // budget: long-window bad fraction stays 0.
+  for (int i = 0; i < 16; ++i) {
+    monitor.Record(10.0, SloOutcome::kOk);
+    clock.SleepFor(kSecond / 2);
+  }
+  ASSERT_TRUE(reasons.empty());
+
+  // Now a burst of slow requests (kOk but over the 100 ms objective, so
+  // they are SLO-bad). The short window (4 good + k bad) crosses the
+  // threshold at the first bad request; the diluted long window
+  // (16 good + k bad, burn 10k/(16+k)) holds the alert until k = 4 — the
+  // multi-window AND is what keeps one bad instant from paging.
+  for (int k = 1; k <= 3; ++k) {
+    monitor.Record(500.0, SloOutcome::kOk);
+    EXPECT_TRUE(reasons.empty()) << "breached too early, at bad request " << k;
+  }
+  monitor.Record(500.0, SloOutcome::kOk);
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_NE(reasons[0].find("slo breach"), std::string::npos);
+
+  // Staying in breach does NOT re-fire the callback.
+  monitor.Record(500.0, SloOutcome::kOk);
+  monitor.Record(500.0, SloOutcome::kOk);
+  EXPECT_EQ(reasons.size(), 1u);
+  const SloSnapshot snapshot = monitor.Snapshot();
+  EXPECT_TRUE(snapshot.breached);
+  EXPECT_EQ(snapshot.breaches, 1);
+}
+
+TEST(SloMonitorTest, RecoveryReArmsTheCallback) {
+  VirtualClock clock;
+  SloMonitor monitor(TightOptions(), &clock);
+  int fires = 0;
+  monitor.SetOnBreach([&fires](const std::string&) { ++fires; });
+
+  for (int i = 0; i < 4; ++i) monitor.Record(10.0, SloOutcome::kError);
+  EXPECT_EQ(fires, 1);
+
+  // Let the bad burst age out of the long window entirely, then serve good
+  // traffic: the monitor must leave breach...
+  clock.SleepFor(12 * kSecond);
+  for (int i = 0; i < 8; ++i) {
+    monitor.Record(10.0, SloOutcome::kOk);
+    clock.SleepFor(kSecond / 4);
+  }
+  EXPECT_FALSE(monitor.Snapshot().breached);
+  EXPECT_EQ(fires, 1);
+
+  // ...and a fresh burst is a NEW breach entry: callback fires again.
+  for (int i = 0; i < 12; ++i) monitor.Record(10.0, SloOutcome::kRejected);
+  EXPECT_TRUE(monitor.Snapshot().breached);
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(monitor.Snapshot().breaches, 2);
+}
+
+TEST(SloMonitorTest, WindowsExpireOldBuckets) {
+  VirtualClock clock;
+  SloMonitor monitor(TightOptions(), &clock);
+  for (int i = 0; i < 6; ++i) monitor.Record(10.0, SloOutcome::kOk);
+  clock.SleepFor(3 * kSecond);
+  monitor.Record(10.0, SloOutcome::kOk);
+
+  SloSnapshot snapshot = monitor.Snapshot();
+  // The first 6 fell out of the 2 s short window but still sit in the 10 s
+  // long window.
+  EXPECT_EQ(snapshot.short_window.total, 1);
+  EXPECT_EQ(snapshot.long_window.total, 7);
+
+  clock.SleepFor(11 * kSecond);
+  snapshot = monitor.Snapshot();
+  EXPECT_EQ(snapshot.long_window.total, 0);
+  EXPECT_EQ(snapshot.total_requests, 7);  // lifetime counter never expires
+}
+
+TEST(SloMonitorTest, OutcomesAreBucketedByKind) {
+  VirtualClock clock;
+  SloMonitor monitor(TightOptions(), &clock);
+  monitor.Record(10.0, SloOutcome::kOk);        // good
+  monitor.Record(500.0, SloOutcome::kOk);       // slow: bad but not an error
+  monitor.Record(0.0, SloOutcome::kRejected);
+  monitor.Record(0.0, SloOutcome::kError);
+  const SloSnapshot snapshot = monitor.Snapshot();
+  EXPECT_EQ(snapshot.long_window.total, 4);
+  EXPECT_EQ(snapshot.long_window.good, 1);
+  EXPECT_EQ(snapshot.long_window.rejected, 1);
+  EXPECT_EQ(snapshot.long_window.errors, 1);
+  EXPECT_DOUBLE_EQ(snapshot.long_window.bad_fraction, 0.75);
+  // burn = bad_fraction / (1 - 0.9)
+  EXPECT_NEAR(snapshot.long_window.burn_rate, 7.5, 1e-9);
+}
+
+TEST(SloMonitorTest, PublishesGaugesUnderMetricPrefix) {
+  VirtualClock clock;
+  SloMonitor monitor(TightOptions(), &clock, "slo_test");
+  for (int i = 0; i < 4; ++i) monitor.Record(10.0, SloOutcome::kError);
+
+  auto& registry = MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetGauge("slo_test.breached")->Value(), 1.0);
+  EXPECT_EQ(registry.GetGauge("slo_test.breaches")->Value(), 1.0);
+  EXPECT_GE(registry.GetGauge("slo_test.burn_short")->Value(), 2.0);
+  EXPECT_GE(registry.GetGauge("slo_test.burn_long")->Value(), 2.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace silofuse

@@ -13,26 +13,39 @@
 //     Post-hoc mode: rebuilds the report from telemetry files exported by
 //     any silofuse binary (SILOFUSE_METRICS / SILOFUSE_TRACE).
 //
+//   sf_report --serve [--rows N] [--trace-out t.json]
+//     Serving demo: trains a small model, hosts it in a SynthesisServer
+//     with SLO monitoring on, drives a concurrent burst of plain and
+//     streaming requests (including deliberate backpressure sheds), and
+//     reports — the Serving section then carries per-phase and
+//     per-deployment latency quantiles, the SLO verdict, and any
+//     flight-recorder dumps.
+//
 // Common flags: --out report.md --json-out report.json (default: Markdown
 // to stdout).
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/json.h"
 #include "core/silofuse.h"
 #include "data/generators/paper_datasets.h"
 #include "obs/bench_compare.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "obs/trace_context.h"
+#include "serve/server.h"
 
 using namespace silofuse;
 
@@ -40,6 +53,7 @@ namespace {
 
 struct Args {
   bool run = false;
+  bool serve = false;
   bool faults = false;
   int clients = 4;
   int rows = 600;
@@ -53,7 +67,8 @@ struct Args {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " (--run [--clients M] [--rows N] [--faults] "
-               "[--trace-out FILE] | --metrics FILE [--trace FILE]) "
+               "[--trace-out FILE] | --serve [--rows N] [--trace-out FILE] "
+               "| --metrics FILE [--trace FILE]) "
                "[--out FILE] [--json-out FILE]\n";
   return 64;
 }
@@ -66,6 +81,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     };
     if (flag == "--run") {
       args->run = true;
+    } else if (flag == "--serve") {
+      args->serve = true;
     } else if (flag == "--faults") {
       args->faults = true;
     } else if (flag == "--clients") {
@@ -101,7 +118,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  return args->run || !args->metrics_path.empty();
+  return args->run || args->serve || !args->metrics_path.empty();
 }
 
 std::vector<obs::RoundStat> RoundStatsFromChannel(const Channel& channel) {
@@ -172,6 +189,108 @@ int RunAndReport(const Args& args, obs::ProfileReport* profile,
     if (!s.ok()) std::cerr << s.ToString() << "\n";
   }
   obs::DisableTracing();
+  return 0;
+}
+
+/// Serving demo: a small trained deployment behind a SynthesisServer with
+/// SLO monitoring, hit by a concurrent burst (plain + streaming requests,
+/// plus a deliberate over-offered spike against a tiny queue so the report
+/// shows real backpressure sheds). Fills the metrics registry; the caller
+/// snapshots it for the report. Appends a debug-snapshot section to
+/// `extra_md`.
+int ServeAndReport(const Args& args, obs::ProfileReport* profile,
+                   std::string* extra_md) {
+  obs::EnableTracing(args.trace_out_path);
+  auto data = GeneratePaperDataset("loan", std::max(200, args.rows),
+                                   /*seed=*/1);
+  if (!data.ok()) {
+    std::cerr << data.status().ToString() << "\n";
+    return 1;
+  }
+  SiloFuseOptions options;
+  options.base.autoencoder_steps = 120;
+  options.base.diffusion_train_steps = 200;
+  options.base.batch_size = 128;
+  options.partition.num_clients = 2;
+  Rng rng(7);
+  SiloFuse model(options);
+  if (Status fit = model.Fit(data.Value(), &rng); !fit.ok()) {
+    std::cerr << "Fit failed: " << fit.ToString() << "\n";
+    return 1;
+  }
+  const std::string ckpt = "sf_report_serve_model.ckpt";
+  if (Status save = model.SaveCheckpoint(ckpt); !save.ok()) {
+    std::cerr << "SaveCheckpoint failed: " << save.ToString() << "\n";
+    return 1;
+  }
+
+  serve::ServeOptions serve_options;
+  serve_options.batcher.max_linger_us = 500;
+  serve_options.batcher.max_queue_depth = 8;  // small: the spike must shed
+  serve_options.enable_slo = true;
+  serve_options.slo.latency_objective_ms = 250.0;
+  serve_options.slo.min_requests = 8;
+  serve_options.flight_dump_dir = ".";
+  serve::SynthesisServer server(serve_options);
+  if (Status reg = server.RegisterDeployment("demo", ckpt); !reg.ok()) {
+    std::cerr << reg.ToString() << "\n";
+    return 1;
+  }
+
+  // Burst: 4 caller threads x 8 requests each, every third one streaming.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kThreads; ++t) {
+    callers.emplace_back([&server, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        serve::ServeRequest request;
+        request.deployment = "demo";
+        request.rows = 32 + 16 * (i % 3);
+        request.seed = static_cast<uint64_t>(t) * 1000 + i;
+        if (i % 3 == 2) {
+          int rows_seen = 0;
+          server.SynthesizeStream(request, [&rows_seen](const Table& chunk) {
+            rows_seen += chunk.num_rows();
+            return Status::OK();
+          });
+        } else {
+          server.Synthesize(request);  // sheds surface in serve.rejected
+        }
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+
+  const serve::ServerDebugSnapshot snapshot = server.DebugSnapshot();
+  std::ostringstream md;
+  md << "## Serving debug snapshot\n\n"
+     << "Deployments: " << snapshot.deployments.size() << " ("
+     << snapshot.loaded_models << " resident), active batchers: "
+     << snapshot.active_batchers << ", flight events recorded: "
+     << snapshot.flight_events << "\n\n";
+  if (snapshot.slo_enabled) {
+    md << "SLO: " << (snapshot.slo.breached ? "**BREACHED**" : "ok") << " — "
+       << snapshot.slo.long_window.good << "/" << snapshot.slo.long_window.total
+       << " good in the long window, " << snapshot.slo.breaches
+       << " breach(es)\n\n";
+  }
+  if (!snapshot.recent_flight_dumps.empty()) {
+    md << "Recent flight-recorder dumps:\n\n";
+    for (const std::string& path : snapshot.recent_flight_dumps) {
+      md << "- `" << path << "`\n";
+    }
+    md << "\n";
+  }
+  *extra_md = md.str();
+
+  *profile = obs::BuildProfile(obs::SnapshotTraceEvents());
+  if (!args.trace_out_path.empty()) {
+    Status s = obs::WriteTraceJson(args.trace_out_path);
+    if (!s.ok()) std::cerr << s.ToString() << "\n";
+  }
+  obs::DisableTracing();
+  std::remove(ckpt.c_str());
   return 0;
 }
 
@@ -290,8 +409,14 @@ int main(int argc, char** argv) {
   std::vector<obs::RoundStat> rounds;
   obs::MetricsSnapshot metrics;
   std::string title;
+  std::string extra_md;
 
-  if (args.run) {
+  if (args.serve) {
+    title = "SiloFuse serving report";
+    const int rc = ServeAndReport(args, &profile, &extra_md);
+    if (rc != 0) return rc;
+    metrics = obs::MetricsRegistry::Global().Snapshot();
+  } else if (args.run) {
     title = std::string("SiloFuse run report (") +
             std::to_string(args.clients) + " clients" +
             (args.faults ? ", faults injected" : "") + ")";
@@ -322,8 +447,10 @@ int main(int argc, char** argv) {
                                               title, profile, rounds, metrics));
   }
   if (args.json_out_path.empty() || !args.out_path.empty()) {
-    ok = WriteOrPrint(args.out_path, obs::RenderRunReportMarkdown(
-                                         title, profile, rounds, metrics)) &&
+    ok = WriteOrPrint(args.out_path,
+                      obs::RenderRunReportMarkdown(title, profile, rounds,
+                                                   metrics) +
+                          extra_md) &&
          ok;
   }
   return ok ? 0 : 1;
